@@ -1,0 +1,73 @@
+// Command mifbench regenerates every table and figure of the MiF paper's
+// evaluation against the simulated Redbud parallel file system.
+//
+// Usage:
+//
+//	mifbench [flags] <experiment>
+//
+// Experiments:
+//
+//	fig6a    micro-benchmark throughput vs stream count (Figure 6a)
+//	fig6b    micro-benchmark throughput vs allocation size (Figure 6b)
+//	fig7     IOR and BTIO macro-benchmarks (Figure 7)
+//	table1   segment counts and MDS CPU utilization (Table I)
+//	fig8     Metarates metadata workloads (Figure 8)
+//	fig9     file system aging impact (Figure 9)
+//	fig10    PostMark and applications (Figure 10)
+//	ablation design-choice sweeps beyond the paper
+//	all      everything above in order
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: mifbench [flags] {fig6a|fig6b|fig7|table1|fig8|fig9|fig10|ablation|all}\n")
+		flag.PrintDefaults()
+	}
+	scale := flag.Float64("scale", 1.0, "workload scale factor (file sizes, file counts)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	exp := flag.Arg(0)
+	runners := map[string]func(float64) error{
+		"fig6a":    runFig6a,
+		"fig6b":    runFig6b,
+		"fig7":     runFig7,
+		"table1":   runTable1,
+		"fig8":     runFig8,
+		"fig9":     runFig9,
+		"fig10":    runFig10,
+		"ablation": runAblation,
+	}
+	var order = []string{"fig6a", "fig6b", "fig7", "table1", "fig8", "fig9", "fig10", "ablation"}
+	if exp == "all" {
+		for _, name := range order {
+			if err := runners[name](*scale); err != nil {
+				fmt.Fprintf(os.Stderr, "mifbench %s: %v\n", name, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	run, ok := runners[exp]
+	if !ok {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*scale); err != nil {
+		fmt.Fprintf(os.Stderr, "mifbench %s: %v\n", exp, err)
+		os.Exit(1)
+	}
+}
+
+// header prints an experiment banner.
+func header(title string) {
+	fmt.Printf("\n=== %s ===\n", title)
+}

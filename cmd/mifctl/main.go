@@ -1,0 +1,278 @@
+// Command mifctl formats a Redbud instance and runs ad-hoc file operations
+// against it, printing placement and fragmentation reports. It is the
+// interactive inspection tool for the simulator: a REPL-less batch CLI
+// driven by a small op script.
+//
+// Usage:
+//
+//	mifctl [flags] <script>
+//
+// where <script> is a file (or - for stdin) of one operation per line:
+//
+//	mkdir <path>
+//	create <path> [sizeBlocks]
+//	write <path> <stream> <blk> <count>
+//	read <path> <blk> <count>
+//	delete <path>
+//	ls <path>
+//	layout <path>
+//	report
+//
+// Example:
+//
+//	echo 'create /a.dat
+//	write /a.dat 1.1 0 64
+//	write /a.dat 2.1 1024 64
+//	layout /a.dat
+//	report' | mifctl -policy on-demand -
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"redbud/internal/core"
+	"redbud/internal/inode"
+	"redbud/internal/pfs"
+	"redbud/internal/sim"
+)
+
+func main() {
+	policy := flag.String("policy", "on-demand", "placement policy: vanilla|reservation|on-demand|static")
+	layout := flag.String("layout", "embedded", "directory layout: normal|embedded")
+	osts := flag.Int("osts", 4, "number of IO servers")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mifctl [flags] <script|->")
+		os.Exit(2)
+	}
+
+	cfg := pfs.MiF(*osts)
+	switch *policy {
+	case "vanilla":
+		cfg = cfg.WithPolicy(pfs.PolicyVanilla)
+	case "reservation":
+		cfg = cfg.WithPolicy(pfs.PolicyReservation)
+	case "on-demand":
+		cfg = cfg.WithPolicy(pfs.PolicyOnDemand)
+	case "static":
+		cfg = cfg.WithPolicy(pfs.PolicyStatic)
+	default:
+		log.Fatalf("unknown policy %q", *policy)
+	}
+	if *layout == "normal" {
+		base := pfs.RedbudOrig(*osts)
+		cfg.MDS = base.MDS
+	}
+	cfg.Name = fmt.Sprintf("%s/%s", *policy, *layout)
+
+	fs, err := pfs.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var in io.Reader
+	if flag.Arg(0) == "-" {
+		in = os.Stdin
+	} else {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	if err := run(fs, in, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// session tracks open handles by path.
+type session struct {
+	fs    *pfs.FS
+	files map[string]*pfs.File
+}
+
+// resolveDir walks the parent directories of path, creating nothing.
+func (s *session) resolveDir(path string) (inode.Ino, string, error) {
+	parts := strings.Split(strings.Trim(path, "/"), "/")
+	dir := s.fs.Root()
+	for _, p := range parts[:len(parts)-1] {
+		ino, err := s.fs.MDS().Lookup(dir, p)
+		if err != nil {
+			return 0, "", fmt.Errorf("%s: %w", path, err)
+		}
+		dir = ino
+	}
+	return dir, parts[len(parts)-1], nil
+}
+
+// run executes the op script.
+func run(fs *pfs.FS, in io.Reader, out io.Writer) error {
+	s := &session{fs: fs, files: make(map[string]*pfs.File)}
+	sc := bufio.NewScanner(in)
+	line := 0
+	for sc.Scan() {
+		line++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+			continue
+		}
+		if err := s.exec(out, fields); err != nil {
+			return fmt.Errorf("line %d (%s): %w", line, fields[0], err)
+		}
+	}
+	return sc.Err()
+}
+
+// exec dispatches one script operation.
+func (s *session) exec(out io.Writer, f []string) error {
+	arg := func(i int) string {
+		if i < len(f) {
+			return f[i]
+		}
+		return ""
+	}
+	num := func(i int) int64 {
+		n, _ := strconv.ParseInt(arg(i), 10, 64)
+		return n
+	}
+	switch f[0] {
+	case "mkdir":
+		dir, name, err := s.resolveDir(arg(1))
+		if err != nil {
+			return err
+		}
+		_, err = s.fs.Mkdir(dir, name)
+		return err
+	case "create":
+		dir, name, err := s.resolveDir(arg(1))
+		if err != nil {
+			return err
+		}
+		h, err := s.fs.Create(dir, name, num(2))
+		if err != nil {
+			return err
+		}
+		s.files[arg(1)] = h
+		return nil
+	case "write":
+		h, err := s.handle(arg(1))
+		if err != nil {
+			return err
+		}
+		stream, err := parseStream(arg(2))
+		if err != nil {
+			return err
+		}
+		return h.Write(stream, num(3), num(4))
+	case "read":
+		h, err := s.handle(arg(1))
+		if err != nil {
+			return err
+		}
+		return h.Read(num(2), num(3))
+	case "delete":
+		dir, name, err := s.resolveDir(arg(1))
+		if err != nil {
+			return err
+		}
+		delete(s.files, arg(1))
+		return s.fs.Delete(dir, name)
+	case "ls":
+		dir := s.fs.Root()
+		if arg(1) != "/" && arg(1) != "" {
+			d, name, err := s.resolveDir(arg(1) + "/.")
+			if err != nil {
+				return err
+			}
+			_ = name
+			dir = d
+		}
+		recs, err := s.fs.MDS().ReaddirPlus(dir)
+		if err != nil {
+			return err
+		}
+		for _, r := range recs {
+			fmt.Fprintf(out, "%-10v %-6d %s\n", r.Ino, r.Size, r.Name)
+		}
+		return nil
+	case "layout":
+		h, err := s.handle(arg(1))
+		if err != nil {
+			return err
+		}
+		n, err := s.fs.TotalExtents(h)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s: %d extents across %d OSTs\n", arg(1), n, s.fs.OSTs())
+		for i := 0; i < s.fs.OSTs(); i++ {
+			exts, err := s.fs.OST(i).Extents(h.ObjectID(i))
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(out, "  ost%d:", i)
+			for j, e := range exts {
+				if j == 8 {
+					fmt.Fprintf(out, " … (+%d more)", len(exts)-8)
+					break
+				}
+				fmt.Fprintf(out, " %v", e)
+			}
+			fmt.Fprintln(out)
+		}
+		return nil
+	case "report":
+		s.fs.Flush()
+		st := s.fs.DataStats()
+		fmt.Fprintf(out, "data: %d requests, %d positionings, %d blocks written, %d read, busy %.2f ms\n",
+			st.Requests, st.Positionings, st.BlocksWritten, st.BlocksRead, sim.Seconds(st.BusyNs)*1e3)
+		m := s.fs.MDS().Stats()
+		fmt.Fprintf(out, "mds:  %d RPCs, %d extent ops, cpu %.2f ms\n",
+			m.RPCs, m.ExtentOps, sim.Seconds(m.CPUNs)*1e3)
+		return nil
+	default:
+		return fmt.Errorf("unknown op %q", f[0])
+	}
+}
+
+// handle fetches (or opens) the handle for a path.
+func (s *session) handle(path string) (*pfs.File, error) {
+	if h, ok := s.files[path]; ok {
+		return h, nil
+	}
+	dir, name, err := s.resolveDir(path)
+	if err != nil {
+		return nil, err
+	}
+	h, err := s.fs.Open(dir, name)
+	if err != nil {
+		return nil, err
+	}
+	s.files[path] = h
+	return h, nil
+}
+
+// parseStream parses "client.pid".
+func parseStream(v string) (core.StreamID, error) {
+	parts := strings.SplitN(v, ".", 2)
+	if len(parts) != 2 {
+		return core.StreamID{}, fmt.Errorf("stream %q: want client.pid", v)
+	}
+	c, err := strconv.ParseUint(parts[0], 10, 32)
+	if err != nil {
+		return core.StreamID{}, err
+	}
+	p, err := strconv.ParseUint(parts[1], 10, 32)
+	if err != nil {
+		return core.StreamID{}, err
+	}
+	return core.StreamID{Client: uint32(c), PID: uint32(p)}, nil
+}

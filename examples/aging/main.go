@@ -1,0 +1,29 @@
+// Aging reproduces the paper's Figure 9 scenario as a runnable example:
+// churn a metadata file system to increasing utilization levels and watch
+// what happens to creation and deletion throughput under both directory
+// placements.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"redbud/internal/mdfs"
+	"redbud/internal/workload"
+)
+
+func main() {
+	fmt.Printf("%-10s %12s %14s %14s\n", "layout", "utilization", "create ops/s", "delete ops/s")
+	for _, layout := range []mdfs.Layout{mdfs.LayoutNormal, mdfs.LayoutEmbedded} {
+		for _, target := range []float64{0.1, 0.5, 0.8} {
+			res, err := workload.RunAging(workload.DefaultAgingConfig(layout, target))
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-10s %11.0f%% %14.0f %14.0f\n",
+				res.Config, 100*res.Utilization, res.CreatePerSec, res.DeletePerSec)
+		}
+	}
+	fmt.Println("\nAging fragments the free space the embedded directory preallocates from,")
+	fmt.Println("hurting creation; deletion is barely compromised, and embedded stays ahead.")
+}

@@ -1,0 +1,64 @@
+// Quickstart: build a MiF-enabled Redbud file system, write a shared file
+// from several concurrent streams, and inspect the resulting on-disk
+// layout under each preallocation policy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"redbud/internal/core"
+	"redbud/internal/pfs"
+	"redbud/internal/sim"
+)
+
+func main() {
+	for _, policy := range []pfs.PolicyKind{pfs.PolicyVanilla, pfs.PolicyReservation, pfs.PolicyOnDemand, pfs.PolicyStatic} {
+		cfg := pfs.MiF(4).WithPolicy(policy)
+		fs, err := pfs.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Eight streams extend disjoint regions of one shared file,
+		// requests arriving round-robin — the paper's Figure 1(a).
+		const streams = 8
+		const regionBlocks = 1024
+		f, err := fs.Create(fs.Root(), "shared.dat", streams*regionBlocks)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for off := int64(0); off < regionBlocks; off += 8 {
+			for s := 0; s < streams; s++ {
+				stream := core.StreamID{Client: uint32(s), PID: 1}
+				if err := f.Write(stream, int64(s)*regionBlocks+off, 8); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+		fs.Flush()
+
+		extents, err := fs.TotalExtents(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Read one stream's region back sequentially and measure.
+		fs.ResetDataStats()
+		for off := int64(0); off < regionBlocks; off += 64 {
+			if err := f.Read(off, 64); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fs.Flush()
+		elapsed := fs.DataBusyMax()
+		st := fs.DataStats()
+		fmt.Printf("%-12s extents=%5d  region read: %6.1f MB/s  (%d positionings)\n",
+			policy, extents, sim.MBps(regionBlocks*4096, elapsed), st.Positionings)
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("\nMiF's on-demand preallocation keeps each stream's region contiguous;")
+	fmt.Println("the reservation baseline interleaves streams in arrival order.")
+}

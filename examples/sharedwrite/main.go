@@ -1,0 +1,100 @@
+// Sharedwrite models the physics-simulation checkpoint pattern that
+// motivates the paper: "a set of nodes frequently write collected data to a
+// shared file, which will be used for further analysis" (LLNL trace study).
+//
+// A cluster of nodes appends timestep snapshots to one shared .odb-style
+// file, then an analysis pass reads the file region by region. The example
+// compares the full MiF system against the original Redbud baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"redbud/internal/core"
+	"redbud/internal/pfs"
+	"redbud/internal/sim"
+)
+
+const (
+	nodes          = 16
+	threadsPerNode = 4
+	timesteps      = 48
+	chunkBlocks    = 8 // 32 KiB per thread per timestep
+)
+
+func run(cfg pfs.Config) (writeMBps, analyzeMBps float64, extents int) {
+	fs, err := pfs.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	streams := nodes * threadsPerNode
+	regionBlocks := int64(timesteps * chunkBlocks)
+	f, err := fs.Create(fs.Root(), "simulation.odb", int64(streams)*regionBlocks)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Simulation phase: every thread appends one chunk per timestep to
+	// its region of the shared file.
+	for ts := 0; ts < timesteps; ts++ {
+		for s := 0; s < streams; s++ {
+			stream := core.StreamID{Client: uint32(s / threadsPerNode), PID: uint32(s % threadsPerNode)}
+			blk := int64(s)*regionBlocks + int64(ts*chunkBlocks)
+			if err := f.Write(stream, blk, chunkBlocks); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	fs.Flush()
+	writeElapsed := fs.DataBusyMax()
+	totalBlocks := int64(streams) * regionBlocks
+	writeMBps = sim.MBps(totalBlocks*4096, writeElapsed)
+
+	extents, err = fs.TotalExtents(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Analysis phase: one analysis process per region, each reading its
+	// region sequentially, running concurrently across the cluster (so
+	// the global arrival order carries rank skew).
+	fs.ResetDataStats()
+	rng := sim.NewRand(42)
+	progress := make([]int64, streams)
+	remaining := streams
+	for remaining > 0 {
+		r := rng.Intn(streams)
+		if progress[r] >= regionBlocks {
+			continue
+		}
+		blk := int64(r)*regionBlocks + progress[r]
+		n := int64(32)
+		if progress[r]+n > regionBlocks {
+			n = regionBlocks - progress[r]
+		}
+		if err := f.Read(blk, n); err != nil {
+			log.Fatal(err)
+		}
+		progress[r] += n
+		if progress[r] >= regionBlocks {
+			remaining--
+		}
+	}
+	fs.Flush()
+	analyzeMBps = sim.MBps(totalBlocks*4096, fs.DataBusyMax())
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	return writeMBps, analyzeMBps, extents
+}
+
+func main() {
+	fmt.Printf("%-10s %12s %14s %10s\n", "system", "write MB/s", "analyze MB/s", "extents")
+	for _, cfg := range []pfs.Config{pfs.RedbudOrig(5), pfs.MiF(5)} {
+		w, a, e := run(cfg)
+		fmt.Printf("%-10s %12.1f %14.1f %10d\n", cfg.Name, w, a, e)
+	}
+	fmt.Println("\nThe analysis pass is where intra-file fragmentation bites: MiF keeps each")
+	fmt.Println("thread's checkpoint region contiguous, so sequential analysis reads stream.")
+}

@@ -1,0 +1,303 @@
+package alloc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"redbud/internal/sim"
+)
+
+func TestAllocNearBasic(t *testing.T) {
+	a := New(1024, 256)
+	s, n, err := a.AllocNear(0, 0, 10)
+	if err != nil || s != 0 || n != 10 {
+		t.Fatalf("AllocNear = (%d,%d,%v), want (0,10,nil)", s, n, err)
+	}
+	if a.FreeBlocks() != 1014 {
+		t.Fatalf("FreeBlocks = %d, want 1014", a.FreeBlocks())
+	}
+	// Next allocation near the same goal lands right after.
+	s2, n2, err := a.AllocNear(0, 0, 10)
+	if err != nil || s2 != 10 || n2 != 10 {
+		t.Fatalf("second AllocNear = (%d,%d,%v), want (10,10,nil)", s2, n2, err)
+	}
+}
+
+func TestAllocNearWrapsAroundGoal(t *testing.T) {
+	a := New(100, 100)
+	// Fill the tail so a goal near the end must wrap.
+	if err := a.AllocExact(0, Range{Start: 90, Count: 10}); err != nil {
+		t.Fatal(err)
+	}
+	s, n, err := a.AllocNear(0, 95, 5)
+	if err != nil || s != 0 || n != 5 {
+		t.Fatalf("AllocNear with full tail = (%d,%d,%v), want (0,5,nil)", s, n, err)
+	}
+}
+
+func TestAllocNearShortRun(t *testing.T) {
+	a := New(100, 100)
+	// Allocate block 5 so the run from 0 is only 5 long.
+	if err := a.AllocExact(0, Range{Start: 5, Count: 1}); err != nil {
+		t.Fatal(err)
+	}
+	s, n, err := a.AllocNear(0, 0, 20)
+	if err != nil || s != 0 || n != 5 {
+		t.Fatalf("AllocNear = (%d,%d,%v), want (0,5,nil): run is clipped at allocated block", s, n, err)
+	}
+}
+
+func TestAllocNearNoSpace(t *testing.T) {
+	a := New(64, 64)
+	if _, _, err := a.AllocNear(0, 0, 64); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.AllocNear(0, 0, 1); err != ErrNoSpace {
+		t.Fatalf("err = %v, want ErrNoSpace", err)
+	}
+}
+
+func TestFreeAndDoubleFree(t *testing.T) {
+	a := New(128, 64)
+	if err := a.AllocExact(0, Range{Start: 10, Count: 20}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(Range{Start: 10, Count: 20}); err != nil {
+		t.Fatal(err)
+	}
+	if a.FreeBlocks() != 128 {
+		t.Fatalf("FreeBlocks = %d, want 128", a.FreeBlocks())
+	}
+	if err := a.Free(Range{Start: 10, Count: 20}); err == nil {
+		t.Fatal("double free should fail")
+	}
+}
+
+func TestAllocExactConflicts(t *testing.T) {
+	a := New(128, 64)
+	if err := a.AllocExact(0, Range{Start: 0, Count: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AllocExact(0, Range{Start: 5, Count: 10}); err == nil {
+		t.Fatal("overlapping AllocExact should fail")
+	}
+	if err := a.AllocExact(0, Range{Start: 120, Count: 20}); err == nil {
+		t.Fatal("out-of-device AllocExact should fail")
+	}
+}
+
+func TestReservationExcludesOthers(t *testing.T) {
+	a := New(256, 256)
+	if err := a.Reserve(7, Range{Start: 0, Count: 100}); err != nil {
+		t.Fatal(err)
+	}
+	// A foreign allocation near goal 0 must skip the reserved range.
+	s, _, err := a.AllocNear(9, 0, 10)
+	if err != nil || s != 100 {
+		t.Fatalf("foreign AllocNear = (%d,%v), want start 100", s, err)
+	}
+	// The owner itself may allocate inside its reservation.
+	s2, n2, err := a.AllocNear(7, 0, 10)
+	if err != nil || s2 != 0 || n2 != 10 {
+		t.Fatalf("owner AllocNear = (%d,%d,%v), want (0,10,nil)", s2, n2, err)
+	}
+}
+
+func TestReserveConflicts(t *testing.T) {
+	a := New(256, 256)
+	if err := a.Reserve(1, Range{Start: 50, Count: 50}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Reserve(2, Range{Start: 80, Count: 10}); err == nil {
+		t.Fatal("overlapping reservation should fail")
+	}
+	if err := a.Reserve(1, Range{Start: 90, Count: 20}); err == nil {
+		t.Fatal("overlapping reservation should fail even for same owner")
+	}
+	if err := a.AllocExact(0, Range{Start: 150, Count: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Reserve(3, Range{Start: 155, Count: 10}); err == nil {
+		t.Fatal("reservation over allocated blocks should fail")
+	}
+}
+
+func TestReserveNear(t *testing.T) {
+	a := New(1024, 256)
+	r, err := a.ReserveNear(5, 100, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Start != 100 || r.Count != 64 {
+		t.Fatalf("ReserveNear = %+v, want {100 64}", r)
+	}
+	// A second window (even same owner) must not overlap the first.
+	r2, err := a.ReserveNear(5, 100, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Start != 164 {
+		t.Fatalf("second window start = %d, want 164", r2.Start)
+	}
+}
+
+func TestConvertReserved(t *testing.T) {
+	a := New(512, 256)
+	r, err := a.ReserveNear(11, 0, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ConvertReserved(11, r); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Allocated(r) {
+		t.Fatal("converted range should be allocated")
+	}
+	if got := a.Reservations(11); len(got) != 0 {
+		t.Fatalf("reservations after convert = %v, want none", got)
+	}
+	// Converting again must fail.
+	if err := a.ConvertReserved(11, r); err == nil {
+		t.Fatal("double convert should fail")
+	}
+}
+
+func TestConvertReservedForeign(t *testing.T) {
+	a := New(512, 256)
+	r, _ := a.ReserveNear(11, 0, 32)
+	if err := a.ConvertReserved(12, r); err == nil {
+		t.Fatal("converting a foreign reservation should fail")
+	}
+}
+
+func TestUnreservePartial(t *testing.T) {
+	a := New(512, 256)
+	if err := a.Reserve(3, Range{Start: 100, Count: 100}); err != nil {
+		t.Fatal(err)
+	}
+	a.Unreserve(3, Range{Start: 120, Count: 20})
+	got := a.Reservations(3)
+	if len(got) != 2 || got[0] != (Range{Start: 100, Count: 20}) || got[1] != (Range{Start: 140, Count: 60}) {
+		t.Fatalf("Reservations = %v, want [{100 20} {140 60}]", got)
+	}
+	if a.ReservedBlocks() != 80 {
+		t.Fatalf("ReservedBlocks = %d, want 80", a.ReservedBlocks())
+	}
+}
+
+func TestUnreserveAll(t *testing.T) {
+	a := New(512, 256)
+	a.Reserve(3, Range{Start: 0, Count: 10})
+	a.Reserve(3, Range{Start: 20, Count: 10})
+	a.Reserve(4, Range{Start: 40, Count: 10})
+	a.UnreserveAll(3)
+	if a.ReservedBlocks() != 10 {
+		t.Fatalf("ReservedBlocks = %d, want 10 (owner 4 only)", a.ReservedBlocks())
+	}
+}
+
+func TestAllReservedSurfacesNoSpace(t *testing.T) {
+	a := New(64, 64)
+	if err := a.Reserve(1, Range{Start: 0, Count: 64}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.AllocNear(2, 0, 1); err != ErrNoSpace {
+		t.Fatalf("err = %v, want ErrNoSpace when all free space is foreign-reserved", err)
+	}
+}
+
+func TestGroupAccounting(t *testing.T) {
+	a := New(1000, 256)
+	if a.Groups() != 4 {
+		t.Fatalf("Groups = %d, want 4", a.Groups())
+	}
+	// Last group is partial: 1000 - 3*256 = 232.
+	if a.GroupFree(3) != 232 {
+		t.Fatalf("GroupFree(3) = %d, want 232", a.GroupFree(3))
+	}
+	a.AllocExact(0, Range{Start: 256, Count: 10})
+	if a.GroupFree(1) != 246 {
+		t.Fatalf("GroupFree(1) = %d, want 246", a.GroupFree(1))
+	}
+	if got := a.Utilization(); got < 0.009 || got > 0.011 {
+		t.Fatalf("Utilization = %g, want ~0.01", got)
+	}
+}
+
+// Property: a random interleaving of AllocNear and Free never double
+// allocates, never loses blocks, and the free count stays consistent.
+func TestAllocFreeInvariantProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRand(seed)
+		a := New(2048, 512)
+		type held struct{ r Range }
+		var live []held
+		for i := 0; i < 300; i++ {
+			if len(live) > 0 && rng.Intn(3) == 0 {
+				j := rng.Intn(len(live))
+				if a.Free(live[j].r) != nil {
+					return false
+				}
+				live = append(live[:j], live[j+1:]...)
+				continue
+			}
+			want := int64(rng.Intn(32)) + 1
+			s, n, err := a.AllocNear(0, int64(rng.Intn(2048)), want)
+			if err == ErrNoSpace {
+				continue
+			}
+			if err != nil || n < 1 || n > want {
+				return false
+			}
+			// The returned range must not overlap any held range.
+			for _, h := range live {
+				if s < h.r.End() && h.r.Start < s+n {
+					return false
+				}
+			}
+			live = append(live, held{Range{Start: s, Count: n}})
+		}
+		var heldBlocks int64
+		for _, h := range live {
+			heldBlocks += h.r.Count
+		}
+		return a.FreeBlocks() == 2048-heldBlocks
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: reservations are mutually exclusive across owners: after any
+// sequence of ReserveNear calls by different owners, no two reserved ranges
+// overlap.
+func TestReservationExclusionProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRand(seed)
+		a := New(4096, 1024)
+		owners := []Owner{1, 2, 3, 4, 5}
+		var all []Range
+		for i := 0; i < 100; i++ {
+			o := owners[rng.Intn(len(owners))]
+			r, err := a.ReserveNear(o, int64(rng.Intn(4096)), int64(rng.Intn(64))+1)
+			if err == ErrNoSpace {
+				continue
+			}
+			if err != nil {
+				return false
+			}
+			all = append(all, r)
+		}
+		for i := range all {
+			for j := i + 1; j < len(all); j++ {
+				if all[i].Start < all[j].End() && all[j].Start < all[i].End() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

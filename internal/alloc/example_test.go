@@ -1,0 +1,39 @@
+package alloc_test
+
+import (
+	"fmt"
+	"log"
+
+	"redbud/internal/alloc"
+)
+
+// Example shows the reservation mechanism the MiF windows are built on: a
+// stream's reserved range is invisible to other owners' searches but stays
+// free until converted.
+func Example() {
+	a := alloc.New(1024, 256)
+
+	// Stream 1 reserves a sequential window near block 0.
+	window, err := a.ReserveNear(1, 0, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("window: [%d,+%d), free blocks: %d\n", window.Start, window.Count, a.FreeBlocks())
+
+	// Another owner's allocation skips the reserved range.
+	start, _, err := a.AllocNear(2, 0, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("foreign allocation starts at %d\n", start)
+
+	// The owner promotes its window to a persistent allocation.
+	if err := a.ConvertReserved(1, window); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after convert, free blocks: %d\n", a.FreeBlocks())
+	// Output:
+	// window: [0,+64), free blocks: 1024
+	// foreign allocation starts at 64
+	// after convert, free blocks: 944
+}

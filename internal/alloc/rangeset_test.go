@@ -1,0 +1,109 @@
+package alloc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"redbud/internal/sim"
+)
+
+func TestRangeSetAddCoalesces(t *testing.T) {
+	var s RangeSet
+	s.Add(Range{Start: 0, Count: 10})
+	s.Add(Range{Start: 20, Count: 10})
+	s.Add(Range{Start: 10, Count: 10}) // bridges the gap
+	if s.Len() != 1 || s.Blocks() != 30 {
+		t.Fatalf("set = %v, want one range of 30", s.Ranges())
+	}
+	s.Add(Range{Start: 5, Count: 10}) // fully contained
+	if s.Len() != 1 || s.Blocks() != 30 {
+		t.Fatalf("contained add changed set: %v", s.Ranges())
+	}
+	s.Add(Range{Start: 25, Count: 20}) // overlapping extension
+	if s.Len() != 1 || s.Blocks() != 45 {
+		t.Fatalf("set = %v, want one range of 45", s.Ranges())
+	}
+}
+
+func TestRangeSetAdjacentMerge(t *testing.T) {
+	var s RangeSet
+	s.Add(Range{Start: 10, Count: 5})
+	s.Add(Range{Start: 15, Count: 5}) // exactly adjacent
+	if s.Len() != 1 {
+		t.Fatalf("adjacent ranges should coalesce: %v", s.Ranges())
+	}
+}
+
+func TestRangeSetRemove(t *testing.T) {
+	var s RangeSet
+	s.Add(Range{Start: 0, Count: 30})
+	s.Remove(Range{Start: 10, Count: 10})
+	got := s.Ranges()
+	if len(got) != 2 || got[0] != (Range{Start: 0, Count: 10}) || got[1] != (Range{Start: 20, Count: 10}) {
+		t.Fatalf("Ranges = %v", got)
+	}
+	if s.Contains(Range{Start: 5, Count: 10}) {
+		t.Fatal("Contains should be false across a hole")
+	}
+	if !s.Contains(Range{Start: 20, Count: 10}) {
+		t.Fatal("Contains should be true for a kept range")
+	}
+}
+
+func TestRangeSetZeroValues(t *testing.T) {
+	var s RangeSet
+	s.Add(Range{Start: 5, Count: 0})
+	s.Remove(Range{Start: 0, Count: 100})
+	if s.Len() != 0 || s.Blocks() != 0 {
+		t.Fatalf("empty-set ops changed state: %v", s.Ranges())
+	}
+	if !s.Contains(Range{Start: 3, Count: 0}) {
+		t.Fatal("empty range is vacuously contained")
+	}
+}
+
+// Property: RangeSet agrees with a block-level model set under random
+// adds and removes, and its representation stays canonical.
+func TestRangeSetModelProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRand(seed)
+		var s RangeSet
+		model := map[int64]bool{}
+		for op := 0; op < 200; op++ {
+			r := Range{Start: rng.Int63n(128), Count: rng.Int63n(16) + 1}
+			if rng.Intn(2) == 0 {
+				s.Add(r)
+				for b := r.Start; b < r.End(); b++ {
+					model[b] = true
+				}
+			} else {
+				s.Remove(r)
+				for b := r.Start; b < r.End(); b++ {
+					delete(model, b)
+				}
+			}
+		}
+		if s.Blocks() != int64(len(model)) {
+			return false
+		}
+		// Canonical: sorted, positive, no adjacency.
+		rs := s.Ranges()
+		for i, e := range rs {
+			if e.Count <= 0 {
+				return false
+			}
+			if i > 0 && rs[i-1].End() >= e.Start {
+				return false
+			}
+		}
+		for b := range model {
+			if !s.Contains(Range{Start: b, Count: 1}) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

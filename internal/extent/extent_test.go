@@ -1,0 +1,193 @@
+package extent
+
+import (
+	"testing"
+	"testing/quick"
+
+	"redbud/internal/sim"
+)
+
+func mustInsert(t *testing.T, m *Map, e Extent) {
+	t.Helper()
+	if err := m.Insert(e); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertAndLookup(t *testing.T) {
+	var m Map
+	mustInsert(t, &m, Extent{Logical: 0, Physical: 1000, Count: 10})
+	mustInsert(t, &m, Extent{Logical: 20, Physical: 2000, Count: 5})
+	if p, ok := m.Lookup(3); !ok || p != 1003 {
+		t.Fatalf("Lookup(3) = (%d,%v), want (1003,true)", p, ok)
+	}
+	if p, ok := m.Lookup(22); !ok || p != 2002 {
+		t.Fatalf("Lookup(22) = (%d,%v), want (2002,true)", p, ok)
+	}
+	if _, ok := m.Lookup(15); ok {
+		t.Fatal("Lookup in hole should miss")
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+}
+
+func TestInsertMergesContiguous(t *testing.T) {
+	var m Map
+	mustInsert(t, &m, Extent{Logical: 0, Physical: 100, Count: 10})
+	mustInsert(t, &m, Extent{Logical: 10, Physical: 110, Count: 10})
+	if m.Len() != 1 {
+		t.Fatalf("contiguous inserts should merge: Len = %d", m.Len())
+	}
+	// Fill a gap that bridges two extents.
+	mustInsert(t, &m, Extent{Logical: 30, Physical: 130, Count: 10})
+	mustInsert(t, &m, Extent{Logical: 20, Physical: 120, Count: 10})
+	if m.Len() != 1 {
+		t.Fatalf("bridging insert should merge both sides: Len = %d, extents %v", m.Len(), m.Extents())
+	}
+	if _, merges := m.Ops(); merges != 3 {
+		t.Fatalf("merges = %d, want 3", merges)
+	}
+}
+
+func TestInsertDoesNotMergeDiscontiguousPhysical(t *testing.T) {
+	var m Map
+	mustInsert(t, &m, Extent{Logical: 0, Physical: 100, Count: 10})
+	// Logically adjacent but physically elsewhere: the fragmentation case.
+	mustInsert(t, &m, Extent{Logical: 10, Physical: 5000, Count: 10})
+	if m.Len() != 2 {
+		t.Fatalf("physically discontiguous extents must not merge: Len = %d", m.Len())
+	}
+}
+
+func TestInsertDoesNotMergeAcrossFlags(t *testing.T) {
+	var m Map
+	mustInsert(t, &m, Extent{Logical: 0, Physical: 100, Count: 10})
+	mustInsert(t, &m, Extent{Logical: 10, Physical: 110, Count: 10, Flags: FlagPrealloc})
+	if m.Len() != 2 {
+		t.Fatalf("different flags must not merge: Len = %d", m.Len())
+	}
+}
+
+func TestInsertOverlapRejected(t *testing.T) {
+	var m Map
+	mustInsert(t, &m, Extent{Logical: 10, Physical: 100, Count: 10})
+	if err := m.Insert(Extent{Logical: 15, Physical: 500, Count: 10}); err == nil {
+		t.Fatal("overlapping insert should fail")
+	}
+	if err := m.Insert(Extent{Logical: 5, Physical: 500, Count: 6}); err == nil {
+		t.Fatal("overlapping insert should fail")
+	}
+	if err := m.Insert(Extent{Logical: 0, Physical: 500, Count: 0}); err == nil {
+		t.Fatal("zero-count insert should fail")
+	}
+}
+
+func TestLookupRangeClipsAndSkipsHoles(t *testing.T) {
+	var m Map
+	mustInsert(t, &m, Extent{Logical: 0, Physical: 100, Count: 10})
+	mustInsert(t, &m, Extent{Logical: 20, Physical: 300, Count: 10})
+	got := m.LookupRange(5, 20) // covers [5,25): tail of first, hole, head of second
+	if len(got) != 2 {
+		t.Fatalf("LookupRange = %v, want 2 extents", got)
+	}
+	if got[0] != (Extent{Logical: 5, Physical: 105, Count: 5}) {
+		t.Fatalf("got[0] = %v", got[0])
+	}
+	if got[1] != (Extent{Logical: 20, Physical: 300, Count: 5}) {
+		t.Fatalf("got[1] = %v", got[1])
+	}
+}
+
+func TestDeleteSplitsExtents(t *testing.T) {
+	var m Map
+	mustInsert(t, &m, Extent{Logical: 0, Physical: 100, Count: 30})
+	removed := m.Delete(10, 10)
+	if len(removed) != 1 || removed[0].Physical != 110 || removed[0].Count != 10 {
+		t.Fatalf("removed = %v", removed)
+	}
+	if m.Len() != 2 || m.MappedBlocks() != 20 {
+		t.Fatalf("after delete: Len=%d mapped=%d, want 2/20", m.Len(), m.MappedBlocks())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Deleting a hole is a no-op.
+	if removed := m.Delete(10, 10); removed != nil {
+		t.Fatalf("deleting a hole returned %v", removed)
+	}
+}
+
+func TestLastPhysical(t *testing.T) {
+	var m Map
+	if _, ok := m.LastPhysical(); ok {
+		t.Fatal("empty map has no last physical")
+	}
+	mustInsert(t, &m, Extent{Logical: 0, Physical: 500, Count: 4})
+	mustInsert(t, &m, Extent{Logical: 100, Physical: 200, Count: 8})
+	if p, ok := m.LastPhysical(); !ok || p != 208 {
+		t.Fatalf("LastPhysical = (%d,%v), want (208,true)", p, ok)
+	}
+}
+
+// Property: after any sequence of valid inserts and deletes the map
+// validates, and every inserted-and-not-deleted logical block resolves to
+// the physical block it was inserted with.
+func TestMapInvariantProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRand(seed)
+		var m Map
+		// Model: logical block -> physical block.
+		model := map[int64]int64{}
+		for op := 0; op < 200; op++ {
+			if rng.Intn(4) == 0 && len(model) > 0 {
+				lo := rng.Int63n(256)
+				cnt := rng.Int63n(16) + 1
+				m.Delete(lo, cnt)
+				for b := lo; b < lo+cnt; b++ {
+					delete(model, b)
+				}
+				continue
+			}
+			lo := rng.Int63n(256)
+			cnt := rng.Int63n(16) + 1
+			phys := rng.Int63n(100000)
+			// Skip inserts that would overlap the model.
+			conflict := false
+			for b := lo; b < lo+cnt; b++ {
+				if _, ok := model[b]; ok {
+					conflict = true
+					break
+				}
+			}
+			if conflict {
+				if err := m.Insert(Extent{Logical: lo, Physical: phys, Count: cnt}); err == nil {
+					return false // overlap must be rejected
+				}
+				continue
+			}
+			if err := m.Insert(Extent{Logical: lo, Physical: phys, Count: cnt}); err != nil {
+				return false
+			}
+			for b := lo; b < lo+cnt; b++ {
+				model[b] = phys + (b - lo)
+			}
+		}
+		if m.Validate() != nil {
+			return false
+		}
+		if m.MappedBlocks() != int64(len(model)) {
+			return false
+		}
+		for b, want := range model {
+			got, ok := m.Lookup(b)
+			if !ok || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,143 @@
+package inode
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"redbud/internal/extent"
+)
+
+func TestInoEncodeDecode(t *testing.T) {
+	ino := MakeIno(7, 42)
+	if ino.DirID() != 7 || ino.Offset() != 42 {
+		t.Fatalf("round trip failed: %v", ino)
+	}
+	if ino.String() != "7:42" {
+		t.Fatalf("String = %q", ino.String())
+	}
+}
+
+func TestInoEncodeDecodeProperty(t *testing.T) {
+	f := func(dirID, offset uint32) bool {
+		ino := MakeIno(dirID, offset)
+		return ino.DirID() == dirID && ino.Offset() == offset
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInoUniquenessProperty(t *testing.T) {
+	f := func(d1, o1, d2, o2 uint32) bool {
+		if d1 == d2 && o1 == o2 {
+			return MakeIno(d1, o1) == MakeIno(d2, o2)
+		}
+		return MakeIno(d1, o1) != MakeIno(d2, o2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	in := &Inode{
+		Ino:   MakeIno(3, 9),
+		Mode:  ModeFile,
+		Nlink: 1,
+		Size:  123456,
+		MTime: 42,
+		CTime: 43,
+		Name:  "result.odb",
+		Inline: []extent.Extent{
+			{Logical: 0, Physical: 800, Count: 16, Flags: extent.FlagPrealloc},
+			{Logical: 16, Physical: 9000, Count: 4},
+		},
+		Spill:       [SpillSlots]int64{77, 0},
+		ExtentCount: 9,
+		OldIno:      MakeIno(2, 5),
+	}
+	buf, err := in.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != RecordSize {
+		t.Fatalf("record size = %d, want %d", len(buf), RecordSize)
+	}
+	out, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Ino != in.Ino || out.Mode != in.Mode || out.Size != in.Size ||
+		out.Name != in.Name || out.ExtentCount != in.ExtentCount ||
+		out.OldIno != in.OldIno || out.Spill != in.Spill ||
+		out.MTime != in.MTime || out.CTime != in.CTime || out.Nlink != in.Nlink {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+	if len(out.Inline) != 2 || out.Inline[0] != in.Inline[0] || out.Inline[1] != in.Inline[1] {
+		t.Fatalf("inline extents mismatch: %v vs %v", out.Inline, in.Inline)
+	}
+}
+
+func TestMarshalRejectsOversizedFields(t *testing.T) {
+	in := &Inode{Name: strings.Repeat("x", MaxNameLen+1)}
+	if _, err := in.Marshal(); err == nil {
+		t.Fatal("oversized name should fail")
+	}
+	in = &Inode{Inline: make([]extent.Extent, InlineExtents+1)}
+	if _, err := in.Marshal(); err == nil {
+		t.Fatal("too many inline extents should fail")
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	if _, err := Unmarshal(make([]byte, 10)); err == nil {
+		t.Fatal("short record should fail")
+	}
+	buf := make([]byte, RecordSize)
+	buf[offNameLen] = MaxNameLen + 1
+	if _, err := Unmarshal(buf); err == nil {
+		t.Fatal("bad name length should fail")
+	}
+	buf = make([]byte, RecordSize)
+	buf[offInlineN] = InlineExtents + 1
+	if _, err := Unmarshal(buf); err == nil {
+		t.Fatal("bad inline count should fail")
+	}
+}
+
+func TestMarshalRoundTripProperty(t *testing.T) {
+	f := func(dirID, offset uint32, size int64, nameSeed uint8, extents uint8) bool {
+		name := strings.Repeat("f", int(nameSeed)%MaxNameLen)
+		n := int(extents) % (InlineExtents + 1)
+		in := &Inode{
+			Ino:  MakeIno(dirID, offset),
+			Mode: ModeFile,
+			Size: size,
+			Name: name,
+		}
+		for i := 0; i < n; i++ {
+			in.Inline = append(in.Inline, extent.Extent{Logical: int64(i) * 10, Physical: int64(i) * 100, Count: 5})
+		}
+		buf, err := in.Marshal()
+		if err != nil {
+			return false
+		}
+		out, err := Unmarshal(buf)
+		if err != nil {
+			return false
+		}
+		if out.Ino != in.Ino || out.Name != in.Name || out.Size != in.Size || len(out.Inline) != n {
+			return false
+		}
+		for i := range in.Inline {
+			if out.Inline[i] != in.Inline[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

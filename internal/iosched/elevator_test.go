@@ -1,0 +1,136 @@
+package iosched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"redbud/internal/disk"
+)
+
+func TestScheduleSortsAndMerges(t *testing.T) {
+	e := NewElevator(0)
+	got := e.Schedule([]Request{
+		{Start: 100, Count: 10, Write: true},
+		{Start: 0, Count: 50, Write: true},
+		{Start: 50, Count: 50, Write: true},
+		{Start: 300, Count: 5, Write: true},
+	})
+	want := []Request{
+		{Start: 0, Count: 110, Write: true},
+		{Start: 300, Count: 5, Write: true},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if e.Stats().Merged != 2 {
+		t.Fatalf("Merged = %d, want 2", e.Stats().Merged)
+	}
+}
+
+func TestScheduleDoesNotMergeAcrossDirection(t *testing.T) {
+	e := NewElevator(0)
+	got := e.Schedule([]Request{
+		{Start: 0, Count: 10, Write: true},
+		{Start: 10, Count: 10, Write: false},
+	})
+	if len(got) != 2 {
+		t.Fatalf("read and write must not merge: got %v", got)
+	}
+}
+
+func TestQueueDepthLimitsReordering(t *testing.T) {
+	// Two interleaved sequential streams. With an unbounded window the
+	// elevator merges each stream fully; with a window of 1 it cannot
+	// reorder at all.
+	var reqs []Request
+	for i := int64(0); i < 64; i++ {
+		reqs = append(reqs, Request{Start: i * 4, Count: 4, Write: false})
+		reqs = append(reqs, Request{Start: 1_000_000 + i*4, Count: 4, Write: false})
+	}
+	unbounded := NewElevator(0)
+	n1 := len(unbounded.Schedule(reqs))
+	strict := NewElevator(1)
+	n2 := len(strict.Schedule(reqs))
+	if n1 >= n2 {
+		t.Fatalf("unbounded window should dispatch fewer requests (%d) than window=1 (%d)", n1, n2)
+	}
+	if n2 != len(reqs) {
+		t.Fatalf("window=1 must dispatch all %d requests, got %d", len(reqs), n2)
+	}
+}
+
+func TestScheduleEmpty(t *testing.T) {
+	e := NewElevator(8)
+	if got := e.Schedule(nil); got != nil {
+		t.Fatalf("empty batch should dispatch nothing, got %v", got)
+	}
+}
+
+func TestDuplicateContainedRequestCollapses(t *testing.T) {
+	e := NewElevator(0)
+	got := e.Schedule([]Request{
+		{Start: 0, Count: 100, Write: false},
+		{Start: 10, Count: 5, Write: false},
+	})
+	if len(got) != 1 || got[0].Count != 100 {
+		t.Fatalf("contained duplicate should collapse, got %v", got)
+	}
+}
+
+func TestRunOnDisk(t *testing.T) {
+	d := disk.New(disk.DefaultConfig(), 1<<20)
+	e := NewElevator(0)
+	// 128 fragmentary requests that are actually one contiguous range.
+	var reqs []Request
+	for i := int64(0); i < 128; i++ {
+		reqs = append(reqs, Request{Start: i * 8, Count: 8, Write: false})
+	}
+	e.Run(d, reqs)
+	if st := d.Stats(); st.Requests != 1 {
+		t.Fatalf("contiguous batch should hit the disk as one request, got %d", st.Requests)
+	}
+}
+
+// Property: scheduling preserves the total transferred block count and every
+// dispatched request covers only blocks that were requested.
+func TestSchedulePreservesWorkProperty(t *testing.T) {
+	f := func(starts []uint16, counts []uint8) bool {
+		n := len(starts)
+		if len(counts) < n {
+			n = len(counts)
+		}
+		var reqs []Request
+		var want int64
+		for i := 0; i < n; i++ {
+			c := int64(counts[i]%32) + 1
+			reqs = append(reqs, Request{Start: int64(starts[i]) * 64, Count: c, Write: true})
+			want += c
+		}
+		e := NewElevator(0)
+		var got int64
+		covered := map[int64]bool{}
+		for _, r := range reqs {
+			for b := r.Start; b < r.End(); b++ {
+				covered[b] = true
+			}
+		}
+		for _, r := range e.Schedule(reqs) {
+			got += r.Count
+			for b := r.Start; b < r.End(); b++ {
+				if !covered[b] {
+					return false // dispatched a block nobody asked for
+				}
+			}
+		}
+		// Merging of contained duplicates may shrink the total, never grow it.
+		return got <= want && (n == 0 || got > 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,228 @@
+package mdfs
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"redbud/internal/alloc"
+	"redbud/internal/inode"
+)
+
+// FsckReport is the result of a consistency check.
+type FsckReport struct {
+	// Dirs and Files count the reachable namespace.
+	Dirs  int
+	Files int
+	// ReachableBlocks counts metadata blocks owned by reachable objects
+	// (directory content/entries, spill blocks).
+	ReachableBlocks int64
+	// Problems lists every inconsistency found, empty for a clean
+	// file system.
+	Problems []string
+	// Advisories are non-fatal drifts in heuristic bookkeeping (the
+	// fragmentation-degree numerator is persisted lazily by design).
+	Advisories []string
+}
+
+// Clean reports whether the check found no problems.
+func (r *FsckReport) Clean() bool { return len(r.Problems) == 0 }
+
+// problemf appends a formatted finding.
+func (r *FsckReport) problemf(format string, args ...interface{}) {
+	r.Problems = append(r.Problems, fmt.Sprintf(format, args...))
+}
+
+// Fsck walks the on-disk state from the superblock — independently of the
+// in-memory namespace — and verifies the structural invariants:
+//
+//   - the superblock is valid and the root record is a directory;
+//   - every reachable inode record parses and its Ino matches its
+//     location (embedded: directory identification and slot);
+//   - no two objects claim the same metadata block (content, entry, or
+//     spill);
+//   - every reachable metadata block is marked allocated in the space
+//     allocator;
+//   - embedded: every directory's table entry resolves back to it, and
+//     the stored fragmentation-degree numerator matches the sum of its
+//     files' mapping-unit counts;
+//   - normal: every reachable inode's slot is set in the inode bitmap.
+func (fs *FS) Fsck() *FsckReport {
+	r := &FsckReport{}
+	sb := fs.store.Read(0)
+	le := binary.LittleEndian
+	if le.Uint32(sb[offSMagic:]) != superMagic {
+		r.problemf("superblock: bad magic %#x", le.Uint32(sb[offSMagic:]))
+		return r
+	}
+	if Layout(le.Uint32(sb[offSLayout:])) != fs.cfg.Layout {
+		r.problemf("superblock: layout mismatch")
+		return r
+	}
+	rootBlk := int64(le.Uint64(sb[offSRootBlk:]))
+	rootOff := int(le.Uint64(sb[offSRootOff:]))
+	rootIno := inode.Ino(le.Uint64(sb[offSRootIno:]))
+	rec, err := fs.readInodeAt(rootBlk, rootOff)
+	if err != nil {
+		r.problemf("root record: %v", err)
+		return r
+	}
+	if !rec.IsDir() {
+		r.problemf("root record is not a directory (mode %d)", rec.Mode)
+		return r
+	}
+	owners := map[int64]string{} // block → owner description
+	fs.fsckDir(r, rec, rootIno, rootBlk, rootOff, owners)
+	return r
+}
+
+// claim records block ownership, reporting duplicates, and checks the
+// allocator.
+func (fs *FS) claim(r *FsckReport, owners map[int64]string, blk int64, what string) {
+	if prev, ok := owners[blk]; ok {
+		r.problemf("block %d claimed by both %s and %s", blk, prev, what)
+		return
+	}
+	owners[blk] = what
+	r.ReachableBlocks++
+	if !fs.alloc.Allocated(alloc.Range{Start: blk, Count: 1}) {
+		r.problemf("block %d (%s) reachable but not allocated", blk, what)
+	}
+}
+
+// fsckDir verifies one directory and recurses into subdirectories.
+func (fs *FS) fsckDir(r *FsckReport, rec *inode.Inode, ino inode.Ino, recBlk int64, recOff int, owners map[int64]string) {
+	r.Dirs++
+	name := rec.Name
+	if name == "" {
+		name = "/"
+	}
+	runs := extentsToRuns(fs.readMapping(rec))
+	for _, spill := range fs.spillChain(rec) {
+		fs.claim(r, owners, spill, fmt.Sprintf("dir %q mapping spill", name))
+	}
+	for _, run := range runs {
+		for b := run.Start; b < run.End(); b++ {
+			fs.claim(r, owners, b, fmt.Sprintf("dir %q content", name))
+		}
+	}
+	if fs.cfg.Layout == LayoutEmbedded {
+		fs.fsckEmbeddedDir(r, rec, ino, runs, owners)
+	} else {
+		fs.fsckNormalDir(r, rec, ino, runs, owners)
+	}
+}
+
+// fsckEmbeddedDir scans an embedded directory's content records.
+func (fs *FS) fsckEmbeddedDir(r *FsckReport, dirRec *inode.Inode, dirIno inode.Ino, runs []alloc.Range, owners map[int64]string) {
+	// Table entry must resolve back to this directory.
+	if dirRec.DirID == 0 {
+		r.problemf("embedded dir %v has no directory identification", dirIno)
+		return
+	}
+	_, self, err := fs.readTableEntry(dirRec.DirID)
+	if err != nil {
+		r.problemf("dir table entry %d: %v", dirRec.DirID, err)
+	} else if self != dirIno {
+		r.problemf("dir table entry %d points at %v, record says %v", dirRec.DirID, self, dirIno)
+	}
+	per := fs.geo.InodesPerBlock
+	var slot uint32
+	var degreeSum int64
+	var files int64
+	for _, run := range runs {
+		for b := run.Start; b < run.End(); b++ {
+			buf := fs.store.Read(b)
+			for i := int64(0); i < per; i++ {
+				cur := slot
+				slot++
+				rec, err := inode.Unmarshal(buf[i*recordSize : (i+1)*recordSize])
+				if err != nil {
+					r.problemf("dir %d slot %d: %v", dirRec.DirID, cur, err)
+					continue
+				}
+				if rec.Mode == inode.ModeNone || rec.Nlink == 0 {
+					continue
+				}
+				want := inode.MakeIno(dirRec.DirID, cur)
+				if rec.Ino != want {
+					r.problemf("dir %d slot %d: record ino %v, want %v", dirRec.DirID, cur, rec.Ino, want)
+				}
+				if rec.IsDir() {
+					fs.fsckDir(r, rec, rec.Ino, b, int(i*recordSize), owners)
+					continue
+				}
+				r.Files++
+				files++
+				degreeSum += int64(rec.ExtentCount)
+				for _, spill := range fs.spillChain(rec) {
+					fs.claim(r, owners, spill, fmt.Sprintf("file %q spill", rec.Name))
+				}
+			}
+		}
+	}
+	if int64(dirRec.Aux) != degreeSum {
+		// The numerator is maintained in memory and persisted on the
+		// next structural touch, so bounded drift is expected.
+		r.Advisories = append(r.Advisories, fmt.Sprintf(
+			"dir %d: fragmentation-degree numerator %d, recomputed %d (lazily persisted)",
+			dirRec.DirID, dirRec.Aux, degreeSum))
+	}
+	if dirRec.Size != files {
+		// Size counts files plus subdirectories in embTouchDir; allow
+		// the subdirectory delta.
+		if dirRec.Size < files {
+			r.problemf("dir %d: file count %d below recomputed %d", dirRec.DirID, dirRec.Size, files)
+		}
+	}
+}
+
+// fsckNormalDir scans a traditional directory's entry blocks.
+func (fs *FS) fsckNormalDir(r *FsckReport, dirRec *inode.Inode, dirIno inode.Ino, runs []alloc.Range, owners map[int64]string) {
+	per := fs.direntsPerBlock()
+	for _, run := range runs {
+		for b := run.Start; b < run.End(); b++ {
+			buf := fs.store.Read(b)
+			for i := 0; i < per; i++ {
+				ent := buf[i*direntSize : (i+1)*direntSize]
+				ino := inode.Ino(binary.LittleEndian.Uint64(ent[0:]))
+				if ino == 0 {
+					continue
+				}
+				nameLen := int(ent[8])
+				if nameLen > direntSize-9 {
+					r.problemf("dir %v: corrupt dirent name length %d", dirIno, nameLen)
+					continue
+				}
+				name := string(ent[9 : 9+nameLen])
+				slot := int64(ino)
+				if slot >= fs.geo.Groups*fs.geo.InodesPerGroup {
+					r.problemf("dirent %q: inode %d outside inode tables", name, slot)
+					continue
+				}
+				g := slot / fs.geo.InodesPerGroup
+				idx := slot % fs.geo.InodesPerGroup
+				if fs.ibitmap[g][idx/64]&(1<<uint(idx%64)) == 0 {
+					r.problemf("dirent %q: inode %d not set in inode bitmap", name, slot)
+				}
+				blk, off := fs.geo.slotLocation(slot)
+				rec, err := fs.readInodeAt(blk, off)
+				if err != nil {
+					r.problemf("inode %d: %v", slot, err)
+					continue
+				}
+				if rec.Mode == inode.ModeNone {
+					r.problemf("dirent %q points at cleared inode %d", name, slot)
+					continue
+				}
+				if rec.IsDir() {
+					fs.fsckDir(r, rec, ino, blk, off, owners)
+					continue
+				}
+				r.Files++
+				for _, spill := range fs.spillChain(rec) {
+					fs.claim(r, owners, spill, fmt.Sprintf("file %q spill", name))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package mdfs
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"redbud/internal/extent"
+	"redbud/internal/inode"
+)
+
+// populate builds a small namespace with files, mappings, deletions, and a
+// subdirectory.
+func populate(t *testing.T, fs *FS) {
+	t.Helper()
+	d, err := fs.Mkdir(fs.Root(), "proj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		ino, err := fs.Create(d, fmt.Sprintf("f%02d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%3 == 0 {
+			var exts []extent.Extent
+			for j := 0; j < 10+i; j++ {
+				exts = append(exts, extent.Extent{Logical: int64(j) * 2, Physical: int64(9000 + i*100 + j*4), Count: 2})
+			}
+			if err := fs.SetLayout(ino, exts); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := 0; i < 60; i += 7 {
+		if err := fs.Unlink(d, fmt.Sprintf("f%02d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sub, err := fs.Mkdir(d, "sub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Create(sub, "leaf"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFsckCleanBothLayouts(t *testing.T) {
+	bothLayouts(t, func(t *testing.T, fs *FS) {
+		populate(t, fs)
+		report := fs.Fsck()
+		if !report.Clean() {
+			t.Fatalf("fsck found problems on a healthy FS:\n%v", report.Problems)
+		}
+		if report.Dirs < 3 { // root, proj, sub
+			t.Fatalf("Dirs = %d, want >= 3", report.Dirs)
+		}
+		if report.Files < 40 {
+			t.Fatalf("Files = %d, want >= 40", report.Files)
+		}
+		if report.ReachableBlocks == 0 {
+			t.Fatal("no reachable blocks counted")
+		}
+	})
+}
+
+func TestFsckDetectsCorruptRecord(t *testing.T) {
+	fs := newFS(t, LayoutEmbedded)
+	populate(t, fs)
+	// Corrupt one content block of the proj directory: flip the inline
+	// count of a record to an invalid value.
+	d := fs.dirs[fs.Resolve(mustLookup(t, fs, fs.Root(), "proj"))]
+	blk := d.content[0].Start
+	buf := append([]byte(nil), fs.store.Read(blk)...)
+	buf[117] = 250 // offInlineN out of range
+	fs.store.Write(blk, buf)
+	fs.store.Commit()
+	fs.store.Checkpoint()
+	report := fs.Fsck()
+	if report.Clean() {
+		t.Fatal("fsck missed a corrupt inode record")
+	}
+}
+
+func TestFsckDetectsBadSuperblock(t *testing.T) {
+	fs := newFS(t, LayoutNormal)
+	populate(t, fs)
+	fs.store.Write(0, make([]byte, fs.cfg.BlockSize))
+	fs.store.Commit()
+	fs.store.Checkpoint()
+	report := fs.Fsck()
+	if report.Clean() {
+		t.Fatal("fsck missed a destroyed superblock")
+	}
+}
+
+// mustLookup is a test helper.
+func mustLookup(t *testing.T, fs *FS, dir inode.Ino, name string) inode.Ino {
+	t.Helper()
+	ino, err := fs.Lookup(dir, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ino
+}
+
+func TestImageSaveLoadRoundTrip(t *testing.T) {
+	bothLayouts(t, func(t *testing.T, fs *FS) {
+		populate(t, fs)
+		var img bytes.Buffer
+		if err := fs.SaveImage(&img); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := LoadImage(bytes.NewReader(img.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The namespace survives.
+		d, err := loaded.Lookup(loaded.Root(), "proj")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := loaded.Lookup(d, "f01"); err != nil {
+			t.Fatalf("f01 lost: %v", err)
+		}
+		if _, err := loaded.Lookup(d, "f00"); err == nil {
+			t.Fatal("deleted f00 resurrected")
+		}
+		sub, err := loaded.Lookup(d, "sub")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := loaded.Lookup(sub, "leaf"); err != nil {
+			t.Fatal(err)
+		}
+		// Layout mappings survive.
+		ino, _ := loaded.Lookup(d, "f03")
+		exts, err := loaded.GetLayout(ino)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(exts) != 13 {
+			t.Fatalf("f03 layout = %d extents, want 13", len(exts))
+		}
+		// The loaded instance fscks clean and accepts new work.
+		if report := loaded.Fsck(); !report.Clean() {
+			t.Fatalf("loaded image not clean:\n%v", report.Problems)
+		}
+		if _, err := loaded.Create(d, "after-load"); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestImageIncludesJournalOverlay(t *testing.T) {
+	fs := newFS(t, LayoutEmbedded)
+	populate(t, fs)
+	// A committed-but-unchekpointed change must be part of the image.
+	d, _ := fs.Lookup(fs.Root(), "proj")
+	if _, err := fs.Create(d, "committed-only"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.store.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	var img bytes.Buffer
+	if err := fs.SaveImage(&img); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadImage(bytes.NewReader(img.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := loaded.Lookup(loaded.Root(), "proj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loaded.Lookup(d2, "committed-only"); err != nil {
+		t.Fatalf("journal-overlay change lost: %v", err)
+	}
+}
+
+func TestLoadImageRejectsGarbage(t *testing.T) {
+	if _, err := LoadImage(bytes.NewReader([]byte("not an image at all"))); err == nil {
+		t.Fatal("garbage should not load")
+	}
+	if _, err := LoadImage(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input should not load")
+	}
+}

@@ -1,0 +1,104 @@
+package mdfs
+
+import "testing"
+
+func TestGeometryLayout(t *testing.T) {
+	cfg := DefaultConfig(LayoutNormal)
+	applyDefaults(&cfg)
+	geo, err := computeGeometry(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if geo.JournalStart != 1 {
+		t.Fatalf("JournalStart = %d", geo.JournalStart)
+	}
+	if geo.TableStart != 1+cfg.JournalBlocks {
+		t.Fatalf("TableStart = %d", geo.TableStart)
+	}
+	if geo.GroupsStart != geo.TableStart+cfg.TableBlocks {
+		t.Fatalf("GroupsStart = %d", geo.GroupsStart)
+	}
+	// Regions are ordered and non-overlapping per group.
+	for g := int64(0); g < geo.Groups; g++ {
+		base := geo.groupBase(g)
+		if geo.blockBitmapBlock(g) != base || geo.inodeBitmapBlock(g) != base+1 {
+			t.Fatalf("group %d bitmap placement wrong", g)
+		}
+		if geo.itableStart(g) != base+2 {
+			t.Fatalf("group %d itable placement wrong", g)
+		}
+		if geo.dataStart(g) <= geo.itableStart(g) {
+			t.Fatalf("group %d data region overlaps itable", g)
+		}
+		if geo.dataStart(g) >= geo.groupEnd(g) {
+			t.Fatalf("group %d has no data region", g)
+		}
+	}
+}
+
+func TestGeometryPartialTailGroup(t *testing.T) {
+	cfg := DefaultConfig(LayoutNormal)
+	cfg.Blocks = 1 << 15
+	cfg.GroupBlocks = 8192
+	cfg.InodesPerGroup = 8192
+	applyDefaults(&cfg)
+	geo, err := computeGeometry(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (32768 - 1089) / 8192 = 3 full groups plus a usable tail.
+	if geo.Groups != 4 {
+		t.Fatalf("Groups = %d, want 4 (3 full + partial tail)", geo.Groups)
+	}
+	if geo.groupEnd(3) != cfg.Blocks {
+		t.Fatalf("tail group end = %d, want %d", geo.groupEnd(3), cfg.Blocks)
+	}
+	if geo.dataStart(3) >= geo.groupEnd(3) {
+		t.Fatal("partial tail group has no data region")
+	}
+}
+
+func TestGeometrySlotLocationRoundTrip(t *testing.T) {
+	cfg := DefaultConfig(LayoutNormal)
+	applyDefaults(&cfg)
+	geo, _ := computeGeometry(cfg)
+	seen := map[int64]map[int]bool{}
+	for _, slot := range []int64{0, 1, 15, 16, 17, geo.InodesPerGroup - 1, geo.InodesPerGroup, geo.InodesPerGroup + 5} {
+		blk, off := geo.slotLocation(slot)
+		if off < 0 || off+recordSize > int(cfg.BlockSize) {
+			t.Fatalf("slot %d: offset %d out of block", slot, off)
+		}
+		g := slot / geo.InodesPerGroup
+		if blk < geo.itableStart(g) || blk >= geo.dataStart(g) {
+			t.Fatalf("slot %d: block %d outside group %d itable", slot, blk, g)
+		}
+		if seen[blk] == nil {
+			seen[blk] = map[int]bool{}
+		}
+		if seen[blk][off] {
+			t.Fatalf("slot %d collides at (%d,%d)", slot, blk, off)
+		}
+		seen[blk][off] = true
+	}
+}
+
+func TestGeometryRejectsBadConfigs(t *testing.T) {
+	cfg := DefaultConfig(LayoutNormal)
+	applyDefaults(&cfg)
+	cfg.Blocks = 100 // too small for one group
+	if _, err := computeGeometry(cfg); err == nil {
+		t.Fatal("tiny device should be rejected")
+	}
+	cfg = DefaultConfig(LayoutNormal)
+	applyDefaults(&cfg)
+	cfg.GroupBlocks = 10 // cannot hold the inode table
+	if _, err := computeGeometry(cfg); err == nil {
+		t.Fatal("undersized group should be rejected")
+	}
+	cfg = DefaultConfig(LayoutNormal)
+	applyDefaults(&cfg)
+	cfg.BlockSize = 128 // below the inode record size
+	if _, err := computeGeometry(cfg); err == nil {
+		t.Fatal("tiny block size should be rejected")
+	}
+}

@@ -1,0 +1,563 @@
+package mdfs
+
+import (
+	"fmt"
+	"testing"
+
+	"redbud/internal/extent"
+	"redbud/internal/inode"
+)
+
+// newFS builds a small test file system in the given layout.
+func newFS(t *testing.T, layout Layout) *FS {
+	t.Helper()
+	cfg := DefaultConfig(layout)
+	cfg.Blocks = 1 << 17 // 512 MiB
+	fs, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+// bothLayouts runs a subtest against each layout.
+func bothLayouts(t *testing.T, f func(t *testing.T, fs *FS)) {
+	t.Helper()
+	for _, layout := range []Layout{LayoutNormal, LayoutEmbedded} {
+		t.Run(layout.String(), func(t *testing.T) { f(t, newFS(t, layout)) })
+	}
+}
+
+func TestCreateLookupStat(t *testing.T) {
+	bothLayouts(t, func(t *testing.T, fs *FS) {
+		ino, err := fs.Create(fs.Root(), "hello.txt")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := fs.Lookup(fs.Root(), "hello.txt")
+		if err != nil || got != ino {
+			t.Fatalf("Lookup = (%v,%v), want (%v,nil)", got, err, ino)
+		}
+		rec, err := fs.Stat(ino)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Mode != inode.ModeFile || rec.Ino != ino {
+			t.Fatalf("Stat = %+v", rec)
+		}
+		if _, err := fs.Lookup(fs.Root(), "absent"); err == nil {
+			t.Fatal("negative lookup should fail")
+		}
+		if _, err := fs.Create(fs.Root(), "hello.txt"); err == nil {
+			t.Fatal("duplicate create should fail")
+		}
+	})
+}
+
+func TestMkdirAndNesting(t *testing.T) {
+	bothLayouts(t, func(t *testing.T, fs *FS) {
+		d1, err := fs.Mkdir(fs.Root(), "a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, err := fs.Mkdir(d1, "b")
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := fs.Create(d2, "deep.txt")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := fs.Stat(f)
+		if err != nil || rec.Mode != inode.ModeFile {
+			t.Fatalf("Stat(%v) = (%+v, %v)", f, rec, err)
+		}
+		names, err := fs.Readdir(d1)
+		if err != nil || len(names) != 1 || names[0] != "b" {
+			t.Fatalf("Readdir = (%v, %v)", names, err)
+		}
+	})
+}
+
+func TestUtimeBumpsMTime(t *testing.T) {
+	bothLayouts(t, func(t *testing.T, fs *FS) {
+		ino, _ := fs.Create(fs.Root(), "f")
+		before, _ := fs.Stat(ino)
+		if err := fs.Utime(ino); err != nil {
+			t.Fatal(err)
+		}
+		after, _ := fs.Stat(ino)
+		if after.MTime <= before.MTime {
+			t.Fatalf("mtime did not advance: %d -> %d", before.MTime, after.MTime)
+		}
+	})
+}
+
+func TestUnlinkAndSlotReuse(t *testing.T) {
+	bothLayouts(t, func(t *testing.T, fs *FS) {
+		var inos []inode.Ino
+		for i := 0; i < 40; i++ {
+			ino, err := fs.Create(fs.Root(), fmt.Sprintf("f%d", i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			inos = append(inos, ino)
+		}
+		for i := 0; i < 40; i += 2 {
+			if err := fs.Unlink(fs.Root(), fmt.Sprintf("f%d", i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 40; i += 2 {
+			if _, err := fs.Stat(inos[i]); err == nil {
+				t.Fatalf("deleted f%d still stats", i)
+			}
+		}
+		for i := 1; i < 40; i += 2 {
+			if _, err := fs.Stat(inos[i]); err != nil {
+				t.Fatalf("surviving f%d lost: %v", i, err)
+			}
+		}
+		// Recreate: slots must be reusable.
+		for i := 0; i < 20; i++ {
+			if _, err := fs.Create(fs.Root(), fmt.Sprintf("g%d", i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		n, _ := fs.Entries(fs.Root())
+		if n != 40 {
+			t.Fatalf("Entries = %d, want 40", n)
+		}
+	})
+}
+
+func TestReaddirPlusReturnsAllInodes(t *testing.T) {
+	bothLayouts(t, func(t *testing.T, fs *FS) {
+		want := map[string]inode.Ino{}
+		for i := 0; i < 100; i++ {
+			name := fmt.Sprintf("file%03d", i)
+			ino, err := fs.Create(fs.Root(), name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[name] = ino
+		}
+		recs, err := fs.ReaddirPlus(fs.Root())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != 100 {
+			t.Fatalf("ReaddirPlus returned %d records, want 100", len(recs))
+		}
+		for _, rec := range recs {
+			if want[rec.Name] != rec.Ino {
+				t.Fatalf("record %q has ino %v, want %v", rec.Name, rec.Ino, want[rec.Name])
+			}
+		}
+	})
+}
+
+func TestSetGetLayoutWithSpill(t *testing.T) {
+	bothLayouts(t, func(t *testing.T, fs *FS) {
+		ino, _ := fs.Create(fs.Root(), "big")
+		var exts []extent.Extent
+		for i := 0; i < 60; i++ { // beyond InlineExtents, into spill
+			exts = append(exts, extent.Extent{Logical: int64(i) * 8, Physical: int64(1000 + i*16), Count: 8})
+		}
+		if err := fs.SetLayout(ino, exts); err != nil {
+			t.Fatal(err)
+		}
+		got, err := fs.GetLayout(ino)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 60 {
+			t.Fatalf("GetLayout returned %d extents, want 60", len(got))
+		}
+		for i := range exts {
+			if got[i] != exts[i] {
+				t.Fatalf("extent %d = %v, want %v", i, got[i], exts[i])
+			}
+		}
+		rec, _ := fs.Stat(ino)
+		if rec.Spill[0] == 0 {
+			t.Fatal("60 extents must use a spill block")
+		}
+	})
+}
+
+func TestFragDegreeTriggersSpillPrealloc(t *testing.T) {
+	fs := newFS(t, LayoutEmbedded)
+	d, _ := fs.Mkdir(fs.Root(), "frag")
+	// Create files and give each a heavily fragmented mapping.
+	for i := 0; i < 10; i++ {
+		ino, err := fs.Create(d, fmt.Sprintf("f%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var exts []extent.Extent
+		for j := 0; j < 20; j++ {
+			exts = append(exts, extent.Extent{Logical: int64(j), Physical: int64(5000 + i*100 + j*2), Count: 1})
+		}
+		if err := fs.SetLayout(ino, exts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deg, err := fs.FragDegree(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg < 15 {
+		t.Fatalf("FragDegree = %g, want ~20", deg)
+	}
+	// New creates in this fragmented directory preallocate a spill block.
+	ino, _ := fs.Create(d, "new")
+	rec, _ := fs.Stat(ino)
+	if rec.Spill[0] == 0 {
+		t.Fatal("create in fragmented directory should preallocate a spill block")
+	}
+}
+
+func TestRenameNormalKeepsIno(t *testing.T) {
+	fs := newFS(t, LayoutNormal)
+	d1, _ := fs.Mkdir(fs.Root(), "src")
+	d2, _ := fs.Mkdir(fs.Root(), "dst")
+	ino, _ := fs.Create(d1, "f")
+	newIno, err := fs.Rename(d1, "f", d2, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newIno != ino {
+		t.Fatalf("normal rename changed ino %v -> %v", ino, newIno)
+	}
+	if _, err := fs.Lookup(d2, "g"); err != nil {
+		t.Fatal("renamed entry missing at destination")
+	}
+	if _, err := fs.Lookup(d1, "f"); err == nil {
+		t.Fatal("renamed entry still at source")
+	}
+}
+
+func TestRenameEmbeddedCorrelation(t *testing.T) {
+	fs := newFS(t, LayoutEmbedded)
+	d1, _ := fs.Mkdir(fs.Root(), "src")
+	d2, _ := fs.Mkdir(fs.Root(), "dst")
+	ino, _ := fs.Create(d1, "f")
+	newIno, err := fs.Rename(d1, "f", d2, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newIno == ino {
+		t.Fatal("embedded rename must change the inode number")
+	}
+	dstRec, err := fs.Stat(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newIno.DirID() != dstRec.DirID {
+		t.Fatalf("new ino %v should encode destination directory id %d", newIno, dstRec.DirID)
+	}
+	// The old number still resolves through the correlation table.
+	rec, err := fs.Stat(ino)
+	if err != nil {
+		t.Fatalf("old ino should resolve via correlation: %v", err)
+	}
+	if rec.Ino != newIno || rec.OldIno != ino {
+		t.Fatalf("correlation broken: %+v", rec)
+	}
+	// Updates through the old number land on the new inode.
+	if err := fs.Utime(ino); err != nil {
+		t.Fatal(err)
+	}
+	// After management routines exit, the correlation is dropped.
+	fs.EndManagement()
+	if _, err := fs.Stat(ino); err == nil {
+		t.Fatal("old ino should be dead after EndManagement")
+	}
+}
+
+func TestRmdir(t *testing.T) {
+	bothLayouts(t, func(t *testing.T, fs *FS) {
+		d, _ := fs.Mkdir(fs.Root(), "dir")
+		if _, err := fs.Create(d, "f"); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Rmdir(fs.Root(), "dir"); err == nil {
+			t.Fatal("rmdir of non-empty directory should fail")
+		}
+		if err := fs.Unlink(d, "f"); err != nil {
+			t.Fatal(err)
+		}
+		free := fs.Allocator().FreeBlocks()
+		if err := fs.Rmdir(fs.Root(), "dir"); err != nil {
+			t.Fatal(err)
+		}
+		if fs.Allocator().FreeBlocks() <= free {
+			t.Fatal("rmdir should release directory blocks")
+		}
+		if _, err := fs.Lookup(fs.Root(), "dir"); err == nil {
+			t.Fatal("removed directory still resolves")
+		}
+	})
+}
+
+func TestLocateInodeViaDirectoryTable(t *testing.T) {
+	fs := newFS(t, LayoutEmbedded)
+	d1, _ := fs.Mkdir(fs.Root(), "a")
+	d2, _ := fs.Mkdir(d1, "b")
+	ino, _ := fs.Create(d2, "leaf")
+	rec, err := fs.LocateInode(ino)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Ino != ino || rec.Name != "leaf" {
+		t.Fatalf("LocateInode = %+v", rec)
+	}
+	// Unknown directory id fails cleanly.
+	if _, err := fs.LocateInode(inode.MakeIno(9999, 0)); err == nil {
+		t.Fatal("unknown dir id should fail")
+	}
+}
+
+func TestRemountRebuildsNamespace(t *testing.T) {
+	bothLayouts(t, func(t *testing.T, fs *FS) {
+		d, _ := fs.Mkdir(fs.Root(), "proj")
+		var want []inode.Ino
+		for i := 0; i < 50; i++ {
+			ino, err := fs.Create(d, fmt.Sprintf("f%02d", i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want = append(want, ino)
+		}
+		fs.Unlink(d, "f03")
+		fs.Unlink(d, "f07")
+		sub, _ := fs.Mkdir(d, "sub")
+		leaf, _ := fs.Create(sub, "leaf")
+		if err := fs.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Remount(); err != nil {
+			t.Fatal(err)
+		}
+		// Namespace contents survive.
+		d2, err := fs.Lookup(fs.Root(), "proj")
+		if err != nil || d2 != d {
+			t.Fatalf("proj lookup = (%v,%v)", d2, err)
+		}
+		for i, ino := range want {
+			name := fmt.Sprintf("f%02d", i)
+			if i == 3 || i == 7 {
+				if _, err := fs.Lookup(d, name); err == nil {
+					t.Fatalf("%s should stay deleted after remount", name)
+				}
+				continue
+			}
+			got, err := fs.Lookup(d, name)
+			if err != nil || got != ino {
+				t.Fatalf("%s lookup = (%v,%v), want %v", name, got, err, ino)
+			}
+		}
+		got, err := fs.Lookup(sub, "leaf")
+		if err != nil || got != leaf {
+			t.Fatalf("leaf = (%v,%v), want %v", got, err, leaf)
+		}
+		// New creates keep working (slot accounting was rebuilt).
+		if _, err := fs.Create(d, "post-remount"); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestCrashRecoverReplaysJournal(t *testing.T) {
+	bothLayouts(t, func(t *testing.T, fs *FS) {
+		d, _ := fs.Mkdir(fs.Root(), "dir")
+		var want []string
+		for i := 0; i < 30; i++ {
+			name := fmt.Sprintf("f%d", i)
+			if _, err := fs.Create(d, name); err != nil {
+				t.Fatal(err)
+			}
+			want = append(want, name)
+		}
+		// Commit the journal but do NOT checkpoint: home blocks are
+		// stale, the journal holds the truth.
+		if err := fs.Store().Commit(); err != nil {
+			t.Fatal(err)
+		}
+		fs.Store().Crash()
+		fs.Store().Recover()
+		if err := fs.Remount(); err != nil {
+			t.Fatal(err)
+		}
+		d2, err := fs.Lookup(fs.Root(), "dir")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range want {
+			if _, err := fs.Lookup(d2, name); err != nil {
+				t.Fatalf("%s lost after crash+recover: %v", name, err)
+			}
+		}
+	})
+}
+
+func TestCrashWithoutRecoverLosesUncheckpointed(t *testing.T) {
+	fs := newFS(t, LayoutEmbedded)
+	if _, err := fs.Create(fs.Root(), "committed"); err != nil {
+		t.Fatal(err)
+	}
+	fs.Store().Commit()
+	fs.Store().Crash()
+	// No Recover: the un-checkpointed create is invisible.
+	if err := fs.Remount(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Lookup(fs.Root(), "committed"); err == nil {
+		t.Fatal("un-replayed create should be lost")
+	}
+	// After recovery it is back.
+	fs.Store().Recover()
+	if err := fs.Remount(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Lookup(fs.Root(), "committed"); err != nil {
+		t.Fatalf("create lost despite journal replay: %v", err)
+	}
+}
+
+func TestEmbeddedStatCheaperThanNormal(t *testing.T) {
+	// The embedded layout serves stat from the directory content block;
+	// the normal layout reads a dirent block and an inode-table block.
+	// With a cold cache the embedded layout must issue fewer disk reads.
+	measure := func(layout Layout) int64 {
+		cfg := DefaultConfig(layout)
+		cfg.Blocks = 1 << 17
+		cfg.CacheBlocks = 64 // small cache so reads go to disk
+		fs, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, _ := fs.Mkdir(fs.Root(), "d")
+		const files = 2000
+		for i := 0; i < files; i++ {
+			if _, err := fs.Create(d, fmt.Sprintf("f%04d", i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		fs.Sync()
+		before := fs.Store().Stats().DiskReads
+		for i := 0; i < files; i++ {
+			if _, err := fs.StatName(d, fmt.Sprintf("f%04d", i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return fs.Store().Stats().DiskReads - before
+	}
+	normal := measure(LayoutNormal)
+	embedded := measure(LayoutEmbedded)
+	if embedded >= normal {
+		t.Fatalf("embedded stat reads (%d) should be below normal (%d)", embedded, normal)
+	}
+}
+
+func TestEmbeddedReaddirPlusFewerRequests(t *testing.T) {
+	// readdirplus over a large directory: embedded reads the content
+	// sequentially in few large requests; normal alternates dirent and
+	// inode-table blocks.
+	measure := func(layout Layout) int64 {
+		cfg := DefaultConfig(layout)
+		cfg.Blocks = 1 << 17
+		cfg.CacheBlocks = 64
+		fs, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, _ := fs.Mkdir(fs.Root(), "d")
+		for i := 0; i < 3000; i++ {
+			if _, err := fs.Create(d, fmt.Sprintf("f%04d", i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		fs.Sync()
+		before := fs.Store().Disk().Stats().Requests
+		if _, err := fs.ReaddirPlus(d); err != nil {
+			t.Fatal(err)
+		}
+		return fs.Store().Disk().Stats().Requests - before
+	}
+	normal := measure(LayoutNormal)
+	embedded := measure(LayoutEmbedded)
+	if embedded*4 > normal {
+		t.Fatalf("embedded readdirplus requests (%d) should be <= 1/4 of normal (%d)", embedded, normal)
+	}
+}
+
+func TestFreedBlockNotResurrectedByCheckpoint(t *testing.T) {
+	// Regression: a spill block journaled, then freed, then reallocated
+	// must come back blank — the pending journal record must not
+	// resurrect its stale contents at checkpoint time (ext3 revoke
+	// semantics). Without the fix, the stale chain pointer inside the
+	// resurrected block corrupted another file's spill chain.
+	cfg := DefaultConfig(LayoutEmbedded)
+	cfg.Blocks = 1 << 17
+	cfg.SyncWrites = true
+	fs, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := fs.Mkdir(fs.Root(), "d")
+	mkExts := func(n int) []extent.Extent {
+		out := make([]extent.Extent, n)
+		for j := range out {
+			out[j] = extent.Extent{Logical: int64(j) * 2, Physical: int64(5000 + j*4), Count: 2}
+		}
+		return out
+	}
+	// A file whose mapping chains two spill blocks; delete it so the
+	// chain blocks are freed while their writes sit in the journal.
+	ino, _ := fs.Create(d, "victim")
+	if err := fs.SetLayout(ino, mkExts(250)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Unlink(d, "victim"); err != nil {
+		t.Fatal(err)
+	}
+	// Churn enough files over the freed blocks (forcing checkpoints in
+	// between) that a stale resurrected chain pointer would collide.
+	for i := 0; i < 300; i++ {
+		name := fmt.Sprintf("f%03d", i)
+		ino, err := fs.Create(d, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.SetLayout(ino, mkExts(150+i%100)); err != nil {
+			t.Fatal(err)
+		}
+		if i%3 == 0 {
+			if err := fs.Unlink(d, name); err != nil {
+				t.Fatalf("unlink %s: %v", name, err)
+			}
+		}
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if report := fs.Fsck(); !report.Clean() {
+		t.Fatalf("fsck after churn:\n%v", report.Problems)
+	}
+}
+
+func TestOpStatsCount(t *testing.T) {
+	fs := newFS(t, LayoutEmbedded)
+	d, _ := fs.Mkdir(fs.Root(), "d")
+	fs.Create(d, "a")
+	fs.Create(d, "b")
+	fs.Lookup(d, "a")
+	fs.Unlink(d, "b")
+	fs.Readdir(d)
+	st := fs.Stats()
+	if st.Mkdirs != 1 || st.Creates != 2 || st.Lookups != 1 || st.Unlinks != 1 || st.Readdirs != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

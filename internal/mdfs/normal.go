@@ -1,0 +1,293 @@
+package mdfs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+
+	"redbud/internal/alloc"
+	"redbud/internal/inode"
+)
+
+// This file implements the traditional (ext3-like) directory placement:
+// directory-entry blocks in the data area pointing at inodes in per-group
+// inode tables. It is the layout of the original Redbud MDS and — with the
+// Htree flag — of the Lustre ext4 MDS baseline.
+
+// direntsPerBlock returns how many fixed-size entries fit a block.
+func (fs *FS) direntsPerBlock() int { return int(fs.cfg.BlockSize) / direntSize }
+
+// allocInodeSlot takes a free inode-table slot, preferring the given group,
+// and journals the inode-bitmap update.
+func (fs *FS) allocInodeSlot(group int64) (int64, error) {
+	for pass := int64(0); pass < fs.geo.Groups; pass++ {
+		g := (group + pass) % fs.geo.Groups
+		if fs.inodeFree[g] == 0 {
+			continue
+		}
+		for w, word := range fs.ibitmap[g] {
+			if word == ^uint64(0) {
+				continue
+			}
+			bit := bits.TrailingZeros64(^word)
+			idx := int64(w)*64 + int64(bit)
+			if idx >= fs.geo.InodesPerGroup {
+				break
+			}
+			fs.ibitmap[g][w] |= 1 << uint(bit)
+			fs.inodeFree[g]--
+			fs.dirtyInodeBitmap(g, int64(w))
+			return g*fs.geo.InodesPerGroup + idx, nil
+		}
+	}
+	return 0, fmt.Errorf("mdfs: out of inodes")
+}
+
+// freeInodeSlot releases a slot and journals the bitmap update.
+func (fs *FS) freeInodeSlot(slot int64) {
+	g := slot / fs.geo.InodesPerGroup
+	idx := slot % fs.geo.InodesPerGroup
+	fs.ibitmap[g][idx/64] &^= 1 << uint(idx%64)
+	fs.inodeFree[g]++
+	fs.dirtyInodeBitmap(g, idx/64)
+}
+
+// dirtyInodeBitmap journals one word of a group's inode bitmap.
+func (fs *FS) dirtyInodeBitmap(group, word int64) {
+	blk := fs.geo.inodeBitmapBlock(group)
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint64(buf, fs.ibitmap[group][word])
+	fs.store.WriteAt(blk, int(word*8)%int(fs.cfg.BlockSize-8), buf)
+}
+
+// normalMakeRoot creates the root directory in the traditional layout.
+func (fs *FS) normalMakeRoot() error {
+	slot, err := fs.allocInodeSlot(0)
+	if err != nil {
+		return err
+	}
+	ino := inode.Ino(slot)
+	blk, off := fs.geo.slotLocation(slot)
+	d := &dir{
+		ino:      ino,
+		parent:   ino,
+		group:    0,
+		entries:  make(map[string]inode.Ino),
+		entryLoc: make(map[string]int),
+		recBlock: blk,
+		recOff:   off,
+	}
+	rec := &inode.Inode{Ino: ino, Mode: inode.ModeDir, Nlink: 2, MTime: fs.now(), CTime: fs.opSeq}
+	if err := fs.writeInodeAt(blk, off, rec); err != nil {
+		return err
+	}
+	fs.dirs[ino] = d
+	fs.root = ino
+	fs.writeSuper()
+	return nil
+}
+
+// chargeNormalLookup accounts the directory-entry reads of resolving name:
+// an indexed (Htree) directory reads the entry's block; a linear (ext3)
+// directory scans from the first block.
+func (fs *FS) chargeNormalLookup(d *dir, name string) {
+	if len(d.direntBlocks) == 0 {
+		return
+	}
+	idx, ok := d.entryLoc[name]
+	blkIdx := idx / fs.direntsPerBlock()
+	if !ok {
+		blkIdx = len(d.direntBlocks) - 1 // negative lookup scans to the end
+	}
+	if fs.cfg.Htree {
+		fs.store.Read(d.direntBlocks[blkIdx])
+		return
+	}
+	for i := 0; i <= blkIdx && i < len(d.direntBlocks); i++ {
+		fs.store.Read(d.direntBlocks[i])
+	}
+}
+
+// appendDirent adds a directory entry, extending the entry area when the
+// last block is full, and returns the entry index.
+func (fs *FS) appendDirent(d *dir, name string, ino inode.Ino) (int, error) {
+	per := fs.direntsPerBlock()
+	idx := -1
+	// Reuse a hole left by a deletion before growing the directory.
+	if len(d.entryLoc) < len(d.direntBlocks)*per {
+		used := make(map[int]bool, len(d.entryLoc))
+		for _, i := range d.entryLoc {
+			used[i] = true
+		}
+		for i := 0; i < len(d.direntBlocks)*per; i++ {
+			if !used[i] {
+				idx = i
+				break
+			}
+		}
+	}
+	if idx < 0 {
+		idx = len(d.entryLoc)
+		if idx/per >= len(d.direntBlocks) {
+			goal := fs.groupGoal(d)
+			if n := len(d.direntBlocks); n > 0 {
+				goal = d.direntBlocks[n-1] + 1
+			}
+			runs, err := fs.allocData(goal, 1)
+			if err != nil {
+				return 0, err
+			}
+			d.direntBlocks = append(d.direntBlocks, runs[0].Start)
+		}
+	}
+	blk := d.direntBlocks[idx/per]
+	off := (idx % per) * direntSize
+	ent := make([]byte, direntSize)
+	binary.LittleEndian.PutUint64(ent[0:], uint64(ino))
+	ent[8] = byte(len(name))
+	copy(ent[9:], name)
+	fs.store.WriteAt(blk, off, ent)
+	d.entries[name] = ino
+	d.entryLoc[name] = idx
+	d.order = append(d.order, name)
+	return idx, nil
+}
+
+// clearDirent removes an entry's on-disk record.
+func (fs *FS) clearDirent(d *dir, name string) {
+	idx := d.entryLoc[name]
+	per := fs.direntsPerBlock()
+	blk := d.direntBlocks[idx/per]
+	fs.store.WriteAt(blk, (idx%per)*direntSize, make([]byte, direntSize))
+	delete(d.entries, name)
+	delete(d.entryLoc, name)
+	for i, n := range d.order {
+		if n == name {
+			d.order = append(d.order[:i], d.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// touchDirRecord updates the directory's own inode (size, mtime) after a
+// namespace mutation and persists the entry-area mapping.
+func (fs *FS) touchDirRecord(d *dir) error {
+	rec, err := fs.readInodeAt(d.recBlock, d.recOff)
+	if err != nil {
+		return err
+	}
+	rec.MTime = fs.opSeq
+	rec.Size = int64(len(d.entries)) * direntSize
+	runs := blocksToRuns(d.direntBlocks)
+	if _, err := fs.writeMapping(rec, runsToExtents(runs), fs.groupGoal(d)); err != nil {
+		return err
+	}
+	return fs.writeInodeAt(d.recBlock, d.recOff, rec)
+}
+
+// blocksToRuns compacts a block list into contiguous runs.
+func blocksToRuns(blocks []int64) []alloc.Range {
+	var out []alloc.Range
+	for _, b := range blocks {
+		if n := len(out); n > 0 && out[n-1].End() == b {
+			out[n-1].Count++
+			continue
+		}
+		out = append(out, alloc.Range{Start: b, Count: 1})
+	}
+	return out
+}
+
+// normalCreate implements Create for the traditional layout.
+func (fs *FS) normalCreate(d *dir, name string, mode inode.Mode) (inode.Ino, error) {
+	fs.chargeNormalLookup(d, name) // existence check
+	slot, err := fs.allocInodeSlot(d.group)
+	if err != nil {
+		return 0, err
+	}
+	ino := inode.Ino(slot)
+	blk, off := fs.geo.slotLocation(slot)
+	rec := &inode.Inode{Ino: ino, Mode: mode, Nlink: 1, MTime: fs.now(), CTime: fs.opSeq}
+	if mode == inode.ModeDir {
+		rec.Nlink = 2
+	}
+	if err := fs.writeInodeAt(blk, off, rec); err != nil {
+		return 0, err
+	}
+	if _, err := fs.appendDirent(d, name, ino); err != nil {
+		return 0, err
+	}
+	if err := fs.touchDirRecord(d); err != nil {
+		return 0, err
+	}
+	if mode == inode.ModeDir {
+		nd := &dir{
+			ino:      ino,
+			parent:   d.ino,
+			group:    fs.pickGroup(),
+			entries:  make(map[string]inode.Ino),
+			entryLoc: make(map[string]int),
+			recBlock: blk,
+			recOff:   off,
+		}
+		fs.nextDir++
+		fs.dirs[ino] = nd
+	}
+	return ino, nil
+}
+
+// normalUnlink implements Unlink for the traditional layout.
+func (fs *FS) normalUnlink(d *dir, name string, ino inode.Ino) error {
+	blk, off := fs.geo.slotLocation(int64(ino))
+	rec, err := fs.readInodeAt(blk, off)
+	if err != nil {
+		return err
+	}
+	if err := fs.freeSpill(rec); err != nil {
+		return err
+	}
+	fs.clearDirent(d, name)
+	fs.writeInodeAt(blk, off, &inode.Inode{}) // clear the record
+	fs.freeInodeSlot(int64(ino))
+	return fs.touchDirRecord(d)
+}
+
+// normalStat locates and reads an inode record by number.
+func (fs *FS) normalStat(ino inode.Ino) (*inode.Inode, error) {
+	blk, off := fs.geo.slotLocation(int64(ino))
+	rec, err := fs.readInodeAt(blk, off)
+	if err != nil {
+		return nil, err
+	}
+	if rec.Mode == inode.ModeNone {
+		return nil, fmt.Errorf("%w: inode %v", ErrNotExist, ino)
+	}
+	return rec, nil
+}
+
+// normalReaddirCharge reads the whole directory-entry area.
+func (fs *FS) normalReaddirCharge(d *dir) {
+	for _, run := range blocksToRuns(d.direntBlocks) {
+		fs.store.ReadRange(run.Start, run.Count)
+	}
+}
+
+// normalReaddirPlus reads the entry area and then each entry's inode,
+// charging the inode-table block reads in readdir order — the traditional
+// placement's "at least three disk position time" pattern for aggregated
+// metadata operations.
+func (fs *FS) normalReaddirPlus(d *dir) ([]inode.Inode, error) {
+	fs.normalReaddirCharge(d)
+	out := make([]inode.Inode, 0, len(d.order))
+	for _, name := range d.order {
+		ino := d.entries[name]
+		blk, off := fs.geo.slotLocation(int64(ino))
+		rec, err := fs.readInodeAt(blk, off)
+		if err != nil {
+			return nil, err
+		}
+		rec.Name = name // names live in the dirents in this layout
+		out = append(out, *rec)
+	}
+	return out, nil
+}

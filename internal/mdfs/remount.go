@@ -1,0 +1,196 @@
+package mdfs
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"redbud/internal/inode"
+)
+
+// Remount rebuilds the in-memory namespace from the on-disk state, the way
+// a fresh mount (possibly after Crash + Recover) would. It validates the
+// superblock, walks the directory tree from the root record, and
+// reconstructs every directory's index, slot accounting, and — in the
+// normal layout — the inode bitmaps.
+func (fs *FS) Remount() error {
+	sb := fs.store.Read(0)
+	le := binary.LittleEndian
+	if le.Uint32(sb[offSMagic:]) != superMagic {
+		return fmt.Errorf("mdfs: bad superblock magic")
+	}
+	if Layout(le.Uint32(sb[offSLayout:])) != fs.cfg.Layout {
+		return fmt.Errorf("mdfs: superblock layout mismatch")
+	}
+	rootBlk := int64(le.Uint64(sb[offSRootBlk:]))
+	rootOff := int(le.Uint64(sb[offSRootOff:]))
+	rootIno := inode.Ino(le.Uint64(sb[offSRootIno:]))
+	fs.nextDir = le.Uint32(sb[offSNextDir:])
+
+	fs.dirs = make(map[inode.Ino]*dir)
+	fs.dirsByID = make(map[uint32]*dir)
+	fs.renamed = make(map[inode.Ino]inode.Ino)
+	if fs.cfg.Layout == LayoutNormal {
+		for g := range fs.ibitmap {
+			for w := range fs.ibitmap[g] {
+				fs.ibitmap[g][w] = 0
+			}
+			fs.inodeFree[g] = fs.geo.InodesPerGroup
+		}
+		fs.ibitmap[0][0] |= 1 // reserved slot 0
+		fs.inodeFree[0]--
+	}
+
+	rec, err := fs.readInodeAt(rootBlk, rootOff)
+	if err != nil {
+		return err
+	}
+	if !rec.IsDir() {
+		return fmt.Errorf("mdfs: root record is not a directory")
+	}
+	fs.root = rootIno
+	root, err := fs.loadDir(rec, rootIno, rootBlk, rootOff)
+	if err != nil {
+		return err
+	}
+	root.parent = rootIno
+	return nil
+}
+
+// loadDir reconstructs one directory (and recursively its subdirectories)
+// from its on-disk record.
+func (fs *FS) loadDir(rec *inode.Inode, ino inode.Ino, recBlk int64, recOff int) (*dir, error) {
+	d := &dir{
+		ino:      ino,
+		dirID:    rec.DirID,
+		entries:  make(map[string]inode.Ino),
+		entryLoc: make(map[string]int),
+		recBlock: recBlk,
+		recOff:   recOff,
+	}
+	runs := extentsToRuns(fs.readMapping(rec))
+	if fs.cfg.Layout == LayoutEmbedded {
+		d.content = runs
+		d.extentUnits = int64(rec.Aux)
+		if g := fs.geo.groupOf(recBlk); g >= 0 {
+			d.group = g
+		}
+		fs.dirs[ino] = d
+		fs.dirsByID[d.dirID] = d
+		if err := fs.loadEmbeddedEntries(d); err != nil {
+			return nil, err
+		}
+	} else {
+		for _, r := range runs {
+			for b := r.Start; b < r.End(); b++ {
+				d.direntBlocks = append(d.direntBlocks, b)
+			}
+		}
+		if int64(ino) < fs.geo.Groups*fs.geo.InodesPerGroup {
+			d.group = int64(ino) / fs.geo.InodesPerGroup
+			fs.markSlotUsed(int64(ino))
+		}
+		fs.dirs[ino] = d
+		if err := fs.loadNormalEntries(d); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// loadEmbeddedEntries scans a directory's content records.
+func (fs *FS) loadEmbeddedEntries(d *dir) error {
+	per := fs.geo.InodesPerBlock
+	var slot uint32
+	var maxUsed int64 = -1
+	var tombstones []uint32
+	for _, r := range d.content {
+		blocks := fs.store.ReadRange(r.Start, r.Count)
+		for bi, buf := range blocks {
+			for i := int64(0); i < per; i++ {
+				recBuf := buf[i*recordSize : (i+1)*recordSize]
+				rec, err := inode.Unmarshal(recBuf)
+				if err != nil {
+					return err
+				}
+				cur := slot
+				slot++
+				if rec.Mode == inode.ModeNone {
+					tombstones = append(tombstones, cur)
+					continue
+				}
+				maxUsed = int64(cur)
+				d.entries[rec.Name] = rec.Ino
+				d.order = append(d.order, rec.Name)
+				d.files++
+				if rec.IsDir() {
+					blk := r.Start + int64(bi)
+					if _, err := fs.loadDir(rec, rec.Ino, blk, int(i*recordSize)); err != nil {
+						return err
+					}
+					if _, ok := fs.dirs[rec.Ino]; ok {
+						fs.dirs[rec.Ino].parent = d.ino
+					}
+				}
+				if rec.OldIno != 0 {
+					fs.renamed[rec.OldIno] = rec.Ino
+				}
+			}
+		}
+	}
+	d.nextSlot = uint32(maxUsed + 1)
+	for _, t := range tombstones {
+		if int64(t) <= maxUsed {
+			d.freeSlots = append(d.freeSlots, t)
+		}
+	}
+	return nil
+}
+
+// loadNormalEntries scans a directory's entry blocks and marks the inode
+// slots used.
+func (fs *FS) loadNormalEntries(d *dir) error {
+	per := fs.direntsPerBlock()
+	for bi, blk := range d.direntBlocks {
+		buf := fs.store.Read(blk)
+		for i := 0; i < per; i++ {
+			ent := buf[i*direntSize : (i+1)*direntSize]
+			ino := inode.Ino(binary.LittleEndian.Uint64(ent[0:]))
+			if ino == 0 {
+				continue
+			}
+			nameLen := int(ent[8])
+			name := string(ent[9 : 9+nameLen])
+			d.entries[name] = ino
+			d.entryLoc[name] = bi*per + i
+			d.order = append(d.order, name)
+			fs.markSlotUsed(int64(ino))
+			recBlk, recOff := fs.geo.slotLocation(int64(ino))
+			rec, err := fs.readInodeAt(recBlk, recOff)
+			if err != nil {
+				return err
+			}
+			if rec.IsDir() {
+				if _, err := fs.loadDir(rec, ino, recBlk, recOff); err != nil {
+					return err
+				}
+				fs.dirs[ino].parent = d.ino
+			}
+		}
+	}
+	return nil
+}
+
+// markSlotUsed sets an inode-bitmap bit during remount (no journaling: the
+// bitmap block contents on disk are already right).
+func (fs *FS) markSlotUsed(slot int64) {
+	g := slot / fs.geo.InodesPerGroup
+	if g < 0 || g >= fs.geo.Groups {
+		return
+	}
+	idx := slot % fs.geo.InodesPerGroup
+	word, bit := idx/64, uint(idx%64)
+	if fs.ibitmap[g][word]&(1<<bit) == 0 {
+		fs.ibitmap[g][word] |= 1 << bit
+		fs.inodeFree[g]--
+	}
+}

@@ -1,0 +1,149 @@
+package mdfs
+
+import (
+	"bytes"
+	"testing"
+
+	"redbud/internal/disk"
+)
+
+func newStore(t *testing.T, cacheCap int) *Store {
+	t.Helper()
+	d := disk.New(disk.DefaultConfig(), 1<<16)
+	return NewStore(d, 1, 256, cacheCap, 64)
+}
+
+func blockOf(s *Store, b byte) []byte {
+	buf := make([]byte, s.BlockSize())
+	for i := range buf {
+		buf[i] = b
+	}
+	return buf
+}
+
+func TestStoreReadThroughCache(t *testing.T) {
+	s := newStore(t, 8)
+	s.Write(1000, blockOf(s, 7))
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Stats()
+	// First read after writing is a hit (the write made it resident).
+	got := s.Read(1000)
+	if got[0] != 7 {
+		t.Fatalf("content = %d, want 7", got[0])
+	}
+	if s.Stats().CacheHits != before.CacheHits+1 {
+		t.Fatal("read of freshly written block should hit the cache")
+	}
+	s.DropCaches()
+	before = s.Stats()
+	s.Read(1000)
+	if s.Stats().DiskReads != before.DiskReads+1 {
+		t.Fatal("cold read should go to disk")
+	}
+}
+
+func TestStoreLRUEviction(t *testing.T) {
+	s := newStore(t, 4)
+	for b := int64(0); b < 8; b++ {
+		s.Read(2000 + b)
+	}
+	before := s.Stats()
+	s.Read(2000) // evicted by the later 7 reads
+	if s.Stats().DiskReads != before.DiskReads+1 {
+		t.Fatal("evicted block should re-read from disk")
+	}
+	s.Read(2007) // still resident
+	if s.Stats().CacheHits != before.CacheHits+1 {
+		t.Fatal("most-recent block should still be cached")
+	}
+}
+
+func TestStoreReadRangeMergesMisses(t *testing.T) {
+	s := newStore(t, 64)
+	d := s.Disk()
+	before := d.Stats().Requests
+	s.ReadRange(3000, 16)
+	if got := d.Stats().Requests - before; got != 1 {
+		t.Fatalf("contiguous cold range should be one disk request, got %d", got)
+	}
+	// A cached block in the middle splits the run.
+	s.DropCaches()
+	s.Read(3008)
+	before = d.Stats().Requests
+	s.ReadRange(3000, 16)
+	if got := d.Stats().Requests - before; got != 2 {
+		t.Fatalf("range with a cached hole should be two requests, got %d", got)
+	}
+}
+
+func TestStoreAbortDiscardsTxn(t *testing.T) {
+	s := newStore(t, 8)
+	s.Write(4000, blockOf(s, 9))
+	s.Abort()
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Read(4000); got[0] != 0 {
+		t.Fatalf("aborted write visible: %d", got[0])
+	}
+}
+
+func TestStoreWriteAtPartialUpdate(t *testing.T) {
+	s := newStore(t, 8)
+	s.Write(5000, blockOf(s, 1))
+	s.WriteAt(5000, 10, []byte{2, 2, 2})
+	got := s.Read(5000)
+	want := blockOf(s, 1)
+	copy(want[10:], []byte{2, 2, 2})
+	if !bytes.Equal(got, want) {
+		t.Fatal("WriteAt did not splice the range")
+	}
+}
+
+func TestStoreWriteSizeChecked(t *testing.T) {
+	s := newStore(t, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short Write should panic")
+		}
+	}()
+	s.Write(1, []byte{1, 2, 3})
+}
+
+func TestStoreCrashLosesUncommitted(t *testing.T) {
+	s := newStore(t, 8)
+	s.Write(6000, blockOf(s, 5))
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	s.Write(6001, blockOf(s, 6)) // uncommitted
+	s.Crash()
+	s.Recover()
+	if got := s.Read(6000); got[0] != 5 {
+		t.Fatal("committed write lost")
+	}
+	if got := s.Read(6001); got[0] != 0 {
+		t.Fatal("uncommitted write survived the crash")
+	}
+}
+
+func TestStoreForgetVoidsContent(t *testing.T) {
+	s := newStore(t, 8)
+	s.Write(7000, blockOf(s, 3))
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	s.Checkpoint()
+	s.Forget(7000)
+	if got := s.Read(7000); got[0] != 0 {
+		t.Fatal("forgotten block should read as zeroes")
+	}
+	// And the journal must not resurrect it (revoked).
+	s.Crash()
+	s.Recover()
+	if got := s.Read(7000); got[0] != 0 {
+		t.Fatal("forgotten block resurrected by replay")
+	}
+}

@@ -1,0 +1,224 @@
+// Package mds implements the Redbud metadata server: the RPC-facing layer
+// over the metadata file system that aggregates common operation pairs
+// (readdir+stat, open+getlayout) and carries the CPU cost model behind
+// Table I ("the less extents in the parallel file systems to be operated,
+// such as merging and indexing, the less CPU load involved in MDS").
+package mds
+
+import (
+	"redbud/internal/extent"
+	"redbud/internal/inode"
+	"redbud/internal/mdfs"
+	"redbud/internal/netsim"
+	"redbud/internal/sim"
+)
+
+// Config holds the MDS construction parameters.
+type Config struct {
+	// FS configures the backing metadata file system.
+	FS mdfs.Config
+	// RequestNs is the fixed CPU cost of servicing one metadata RPC.
+	RequestNs sim.Ns
+	// ExtentOpNs is the CPU cost of one layout-mapping unit operated on
+	// (inserted, merged, indexed, or returned).
+	ExtentOpNs sim.Ns
+}
+
+// DefaultConfig returns an MDS over the given layout with the CPU model
+// used throughout the evaluation.
+func DefaultConfig(layout mdfs.Layout) Config {
+	return Config{
+		FS:         mdfs.DefaultConfig(layout),
+		RequestNs:  8 * sim.Microsecond,
+		ExtentOpNs: 2 * sim.Microsecond,
+	}
+}
+
+// Stats counts MDS activity.
+type Stats struct {
+	// RPCs is the number of metadata requests serviced.
+	RPCs int64
+	// ExtentOps is the number of layout-mapping units processed.
+	ExtentOps int64
+	// CPUNs is the accumulated CPU time of the request-processing model.
+	CPUNs sim.Ns
+}
+
+// Server is one metadata server. Like the backing FS it is serialized by
+// the caller (the PFS mount wraps it in a lock).
+type Server struct {
+	cfg   Config
+	fs    *mdfs.FS
+	link  *netsim.Link // the GbE path clients reach the MDS over
+	stats Stats
+}
+
+// New builds a metadata server, formatting its file system.
+func New(cfg Config) (*Server, error) {
+	if cfg.RequestNs == 0 && cfg.ExtentOpNs == 0 {
+		def := DefaultConfig(cfg.FS.Layout)
+		cfg.RequestNs = def.RequestNs
+		cfg.ExtentOpNs = def.ExtentOpNs
+	}
+	fs, err := mdfs.New(cfg.FS)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{cfg: cfg, fs: fs, link: netsim.NewLink(netsim.GbE())}, nil
+}
+
+// FS exposes the backing metadata file system.
+func (s *Server) FS() *mdfs.FS { return s.fs }
+
+// Stats returns a snapshot of the counters.
+func (s *Server) Stats() Stats { return s.stats }
+
+// ResetStats zeroes the CPU/RPC counters for a new measurement phase.
+func (s *Server) ResetStats() { s.stats = Stats{} }
+
+// Root returns the root directory inode.
+func (s *Server) Root() inode.Ino { return s.fs.Root() }
+
+// rpcBytes is the modeled size of one metadata request/response pair.
+const rpcBytes = 512
+
+// rpc charges the fixed per-request CPU cost and the GbE round trip.
+func (s *Server) rpc() {
+	s.stats.RPCs++
+	s.stats.CPUNs += s.cfg.RequestNs
+	s.link.RoundTrip(rpcBytes, rpcBytes)
+}
+
+// NetBusy returns the accumulated network time of the MDS fabric — the
+// quantity to max against the disk timeline when folding elapsed time (the
+// network and the disk pipeline).
+func (s *Server) NetBusy() sim.Ns { return s.link.Stats().BusyNs }
+
+// Link exposes the MDS network link for measurement.
+func (s *Server) Link() *netsim.Link { return s.link }
+
+// extentWork charges the CPU cost of n mapping units.
+func (s *Server) extentWork(n int) {
+	s.stats.ExtentOps += int64(n)
+	s.stats.CPUNs += sim.Ns(n) * s.cfg.ExtentOpNs
+}
+
+// Mkdir creates a directory.
+func (s *Server) Mkdir(parent inode.Ino, name string) (inode.Ino, error) {
+	s.rpc()
+	return s.fs.Mkdir(parent, name)
+}
+
+// Create creates a file.
+func (s *Server) Create(parent inode.Ino, name string) (inode.Ino, error) {
+	s.rpc()
+	return s.fs.Create(parent, name)
+}
+
+// Lookup resolves a name.
+func (s *Server) Lookup(parent inode.Ino, name string) (inode.Ino, error) {
+	s.rpc()
+	return s.fs.Lookup(parent, name)
+}
+
+// Stat reads an inode.
+func (s *Server) Stat(ino inode.Ino) (inode.Inode, error) {
+	s.rpc()
+	return s.fs.Stat(ino)
+}
+
+// StatName resolves and reads an inode — the readdir-stat pair's unit.
+func (s *Server) StatName(parent inode.Ino, name string) (inode.Inode, error) {
+	s.rpc()
+	return s.fs.StatName(parent, name)
+}
+
+// Utime updates an mtime.
+func (s *Server) Utime(ino inode.Ino) error {
+	s.rpc()
+	return s.fs.Utime(ino)
+}
+
+// Unlink removes a file.
+func (s *Server) Unlink(parent inode.Ino, name string) error {
+	s.rpc()
+	return s.fs.Unlink(parent, name)
+}
+
+// Rmdir removes an empty directory.
+func (s *Server) Rmdir(parent inode.Ino, name string) error {
+	s.rpc()
+	return s.fs.Rmdir(parent, name)
+}
+
+// Rename moves an entry, returning its (possibly new) inode number.
+func (s *Server) Rename(srcParent inode.Ino, name string, dstParent inode.Ino, newName string) (inode.Ino, error) {
+	s.rpc()
+	return s.fs.Rename(srcParent, name, dstParent, newName)
+}
+
+// Readdir lists a directory.
+func (s *Server) Readdir(parent inode.Ino) ([]string, error) {
+	s.rpc()
+	return s.fs.Readdir(parent)
+}
+
+// ReaddirPlus is the aggregated readdir+stat: "a readdirplus extension is
+// proposed and supported by most parallel file systems to fetch the entire
+// directory, including inode contents, in a single MDS request".
+func (s *Server) ReaddirPlus(parent inode.Ino) ([]inode.Inode, error) {
+	s.rpc()
+	recs, err := s.fs.ReaddirPlus(parent)
+	if err != nil {
+		return nil, err
+	}
+	s.extentWork(len(recs))
+	return recs, nil
+}
+
+// OpenGetLayout is the aggregated open+getlayout: the client acquires the
+// file layout in the same request that opens the file, as pNFS block mode
+// and Lustre do.
+func (s *Server) OpenGetLayout(parent inode.Ino, name string) (inode.Ino, []extent.Extent, error) {
+	s.rpc()
+	ino, err := s.fs.Lookup(parent, name)
+	if err != nil {
+		return 0, nil, err
+	}
+	exts, err := s.fs.GetLayout(ino)
+	if err != nil {
+		return 0, nil, err
+	}
+	s.extentWork(len(exts))
+	return ino, exts, nil
+}
+
+// SetLayout records a file's data placement as reported by the IO servers,
+// charging the mapping-maintenance CPU.
+func (s *Server) SetLayout(ino inode.Ino, exts []extent.Extent) error {
+	s.rpc()
+	s.extentWork(len(exts))
+	return s.fs.SetLayout(ino, exts)
+}
+
+// NoteExtentChurn charges mapping-maintenance CPU for extents manipulated
+// during writes (merging, indexing) without an explicit SetLayout RPC.
+func (s *Server) NoteExtentChurn(n int) {
+	s.extentWork(n)
+}
+
+// CPUUtilization returns the CPU model's utilization over an elapsed
+// simulated duration.
+func (s *Server) CPUUtilization(elapsed sim.Ns) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	u := float64(s.stats.CPUNs) / float64(elapsed)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// Sync flushes the metadata file system.
+func (s *Server) Sync() error { return s.fs.Sync() }

@@ -1,0 +1,158 @@
+package mdscluster
+
+import (
+	"fmt"
+	"testing"
+
+	"redbud/internal/mdfs"
+)
+
+func TestSubtreeDistributionKeepsLocality(t *testing.T) {
+	c, err := New(4, mdfs.LayoutEmbedded, DistributeSubtree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.Mkdir(c.Root(), "proj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := c.Mkdir(d, "src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Server != d.Server {
+		t.Fatalf("subtree distribution must keep children on the parent's server: %d vs %d", sub.Server, d.Server)
+	}
+	// Top-level directories spread round-robin.
+	d2, _ := c.Mkdir(c.Root(), "proj2")
+	if d2.Server == d.Server {
+		t.Fatal("top-level subtrees should be delegated to different servers")
+	}
+}
+
+func TestHashDistributionBreaksEmbeddedBenefit(t *testing.T) {
+	// The §4.D limitation: under hash distribution the embedded
+	// directory cannot serve readdirplus with one sequential sweep —
+	// every server must be consulted.
+	requests := func(dist Distribution) int64 {
+		c, err := New(4, mdfs.LayoutEmbedded, dist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := c.Mkdir(c.Root(), "data")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 400; i++ {
+			if _, err := c.Create(d, fmt.Sprintf("f%04d", i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := c.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		for i := range make([]int, c.Servers()) {
+			c.Server(i).FS().Store().DropCaches()
+		}
+		before := c.DiskRequests()
+		beforeRPC := c.RPCs()
+		if _, err := c.ReaddirPlus(d); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%v: %d disk requests, %d RPCs", dist, c.DiskRequests()-before, c.RPCs()-beforeRPC)
+		return c.DiskRequests() - before
+	}
+	subtree := requests(DistributeSubtree)
+	hash := requests(DistributeHash)
+	if hash <= subtree {
+		t.Fatalf("hash distribution should cost more disk requests (%d) than subtree (%d)", hash, subtree)
+	}
+}
+
+func TestGiantDirectoryPartitioning(t *testing.T) {
+	c, err := New(4, mdfs.LayoutEmbedded, DistributeSubtree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.MkGiantDir(c.Root(), "checkpoints")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const files = 2000
+	for i := 0; i < files; i++ {
+		if _, err := c.GiantCreate(g, fmt.Sprintf("rank-%06d.ckpt", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts, err := c.GiantEntries(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i, n := range counts {
+		total += n
+		// Hash partitioning should be roughly balanced.
+		if n < files/8 || n > files {
+			t.Errorf("server %d holds %d entries, want near %d", i, n, files/4)
+		}
+	}
+	if total != files {
+		t.Fatalf("entries across partitions = %d, want %d", total, files)
+	}
+}
+
+func TestGiantLookupIndexAvoidsBroadcast(t *testing.T) {
+	c, err := New(8, mdfs.LayoutEmbedded, DistributeSubtree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.MkGiantDir(c.Root(), "giant")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if _, err := c.GiantCreate(g, fmt.Sprintf("f%05d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := c.RPCs()
+	ino, err := c.GiantLookup(g, "f00042", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexed := c.RPCs() - before
+	before = c.RPCs()
+	ino2, err := c.GiantLookup(g, "f00042", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	broadcast := c.RPCs() - before
+	if ino != ino2 {
+		t.Fatalf("indexed and broadcast lookups disagree: %v vs %v", ino, ino2)
+	}
+	if indexed > 2 {
+		t.Fatalf("indexed lookup cost %d RPCs, want <= 2", indexed)
+	}
+	if broadcast != int64(c.Servers()) {
+		t.Fatalf("broadcast lookup cost %d RPCs, want %d", broadcast, c.Servers())
+	}
+	// Misses are answered by the primary alone.
+	before = c.RPCs()
+	if _, err := c.GiantLookup(g, "absent", true); err == nil {
+		t.Fatal("lookup of absent name should fail")
+	}
+	if got := c.RPCs() - before; got != 1 {
+		t.Fatalf("indexed negative lookup cost %d RPCs, want 1", got)
+	}
+}
+
+func TestGiantDirectoryErrors(t *testing.T) {
+	c, _ := New(2, mdfs.LayoutEmbedded, DistributeSubtree)
+	d, _ := c.Mkdir(c.Root(), "plain")
+	if _, err := c.GiantCreate(d, "f"); err == nil {
+		t.Fatal("GiantCreate on a plain directory should fail")
+	}
+	if _, err := c.GiantLookup(d, "f", true); err == nil {
+		t.Fatal("GiantLookup on a plain directory should fail")
+	}
+}

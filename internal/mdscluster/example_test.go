@@ -1,0 +1,41 @@
+package mdscluster_test
+
+import (
+	"fmt"
+	"log"
+
+	"redbud/internal/mdfs"
+	"redbud/internal/mdscluster"
+)
+
+// Example demonstrates the §4.C giant-directory design: a checkpoint
+// directory with one file per rank, partitioned across an MDS cluster,
+// where the primary's collected name-hash index answers lookups without
+// broadcasting.
+func Example() {
+	cluster, err := mdscluster.New(4, mdfs.LayoutEmbedded, mdscluster.DistributeSubtree)
+	if err != nil {
+		log.Fatal(err)
+	}
+	giant, err := cluster.MkGiantDir(cluster.Root(), "checkpoints")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for rank := 0; rank < 1000; rank++ {
+		if _, err := cluster.GiantCreate(giant, fmt.Sprintf("rank-%04d.ckpt", rank)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	before := cluster.RPCs()
+	if _, err := cluster.GiantLookup(giant, "rank-0042.ckpt", true); err != nil {
+		log.Fatal(err)
+	}
+	indexed := cluster.RPCs() - before
+	before = cluster.RPCs()
+	if _, err := cluster.GiantLookup(giant, "rank-0042.ckpt", false); err != nil {
+		log.Fatal(err)
+	}
+	broadcast := cluster.RPCs() - before
+	fmt.Printf("indexed lookup within 2 RPCs: %v; broadcast lookup: %d RPCs\n", indexed <= 2, broadcast)
+	// Output: indexed lookup within 2 RPCs: true; broadcast lookup: 4 RPCs
+}

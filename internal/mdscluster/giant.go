@@ -1,0 +1,120 @@
+package mdscluster
+
+import (
+	"fmt"
+
+	"redbud/internal/inode"
+)
+
+// MkGiantDir creates an extreme large directory partitioned across every
+// server: "subfiles in the extreme large directory are assigned to and
+// managed by different servers". The creating server becomes the primary,
+// holding the collected name-hash index.
+func (c *Cluster) MkGiantDir(parent DirRef, name string) (DirRef, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	primary := c.assign(parent, name)
+	gd := &giantDir{
+		primary: primary,
+		parts:   make([]inode.Ino, len(c.servers)),
+		hashes:  make(map[uint64]int),
+	}
+	var ref DirRef
+	for i, s := range c.servers {
+		c.rpcs++
+		partName := name
+		if i != primary {
+			partName = fmt.Sprintf("%s.part%d", name, i)
+		}
+		ino, err := s.Mkdir(s.Root(), partName)
+		if err != nil {
+			return DirRef{}, err
+		}
+		gd.parts[i] = ino
+		if i == primary {
+			ref = DirRef{Server: i, Ino: ino}
+		}
+	}
+	c.giants[ref] = gd
+	return ref, nil
+}
+
+// GiantCreate creates an entry in a giant directory: the entry lands on
+// the server its name hashes to, and the primary records the hash.
+func (c *Cluster) GiantCreate(dir DirRef, name string) (inode.Ino, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	gd, ok := c.giants[dir]
+	if !ok {
+		return 0, fmt.Errorf("mdscluster: %v is not a giant directory", dir)
+	}
+	h := hashName(name)
+	owner := int(h % uint64(len(c.servers)))
+	c.rpcs++
+	ino, err := c.servers[owner].Create(gd.parts[owner], name)
+	if err != nil {
+		return 0, err
+	}
+	// "the primary server to collect the hash value of the subfiles'
+	// name" — one more request when the owner is not the primary.
+	if owner != gd.primary {
+		c.rpcs++
+	}
+	gd.hashes[h] = owner + 1
+	return ino, nil
+}
+
+// GiantLookup resolves a name in a giant directory. With the collected
+// hash index, the primary answers membership directly and at most one
+// subordinate is consulted; without it (indexed=false), every partition
+// must be searched — the broadcast the index exists to avoid.
+func (c *Cluster) GiantLookup(dir DirRef, name string, indexed bool) (inode.Ino, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	gd, ok := c.giants[dir]
+	if !ok {
+		return 0, fmt.Errorf("mdscluster: %v is not a giant directory", dir)
+	}
+	if indexed {
+		c.rpcs++ // primary consults its hash index
+		ownerPlus1 := gd.hashes[hashName(name)]
+		if ownerPlus1 == 0 {
+			return 0, fmt.Errorf("mdscluster: %q not found (index)", name)
+		}
+		owner := ownerPlus1 - 1
+		if owner != gd.primary {
+			c.rpcs++
+		}
+		return c.servers[owner].Lookup(gd.parts[owner], name)
+	}
+	// Unindexed: broadcast to every partition.
+	var found inode.Ino
+	var ferr error = fmt.Errorf("mdscluster: %q not found (broadcast)", name)
+	for i, s := range c.servers {
+		c.rpcs++
+		if ino, err := s.Lookup(gd.parts[i], name); err == nil {
+			found, ferr = ino, nil
+		}
+	}
+	return found, ferr
+}
+
+// GiantEntries returns the per-server entry counts of a giant directory,
+// for balance checks.
+func (c *Cluster) GiantEntries(dir DirRef) ([]int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	gd, ok := c.giants[dir]
+	if !ok {
+		return nil, fmt.Errorf("mdscluster: %v is not a giant directory", dir)
+	}
+	out := make([]int, len(c.servers))
+	for i, s := range c.servers {
+		n, err := s.FS().Entries(gd.parts[i])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = n
+	}
+	return out, nil
+}

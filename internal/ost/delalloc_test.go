@@ -1,0 +1,173 @@
+package ost
+
+import (
+	"testing"
+
+	"redbud/internal/core"
+)
+
+// newDelalloc builds a server with delayed allocation over the vanilla
+// policy — the combination ext4 uses.
+func newDelalloc(t *testing.T, flushBlocks int64) *Server {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.DelayedAllocation = true
+	cfg.DelayedFlushBlocks = flushBlocks
+	return NewServer(0, cfg)
+}
+
+func vanillaFactory(src core.BlockSource, _ int64) core.Policy {
+	return core.NewVanilla(src)
+}
+
+func TestDelallocBuffersUntilFsync(t *testing.T) {
+	s := newDelalloc(t, 1<<20)
+	s.CreateObject(1, vanillaFactory, 0)
+	stream := core.StreamID{Client: 1, PID: 1}
+	for i := int64(0); i < 16; i++ {
+		if err := s.Write(1, stream, i*4, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.BufferedBlocks(); got != 64 {
+		t.Fatalf("BufferedBlocks = %d, want 64", got)
+	}
+	if n, _ := s.ExtentCount(1); n != 0 {
+		t.Fatalf("no allocation should happen before flush, got %d extents", n)
+	}
+	if err := s.Fsync(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.BufferedBlocks(); got != 0 {
+		t.Fatalf("BufferedBlocks after fsync = %d, want 0", got)
+	}
+	// The 16 adjacent writes coalesced into one allocation.
+	if n, _ := s.ExtentCount(1); n != 1 {
+		t.Fatalf("coalesced flush should produce 1 extent, got %d", n)
+	}
+}
+
+func TestDelallocReadForcesFlush(t *testing.T) {
+	s := newDelalloc(t, 1<<20)
+	s.CreateObject(1, vanillaFactory, 0)
+	stream := core.StreamID{Client: 1, PID: 1}
+	if err := s.Write(1, stream, 0, 8); err != nil {
+		t.Fatal(err)
+	}
+	// Read-after-write must see the data.
+	if err := s.Read(1, 0, 8); err != nil {
+		t.Fatal(err)
+	}
+	if s.BufferedBlocks() != 0 {
+		t.Fatal("read should have flushed the buffers")
+	}
+}
+
+func TestDelallocWritebackThreshold(t *testing.T) {
+	s := newDelalloc(t, 32)
+	s.CreateObject(1, vanillaFactory, 0)
+	stream := core.StreamID{Client: 1, PID: 1}
+	for i := int64(0); i < 10; i++ {
+		if err := s.Write(1, stream, i*4, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 40 blocks written; the 32-block threshold must have flushed.
+	if got := s.BufferedBlocks(); got >= 32 {
+		t.Fatalf("threshold did not flush: %d blocks buffered", got)
+	}
+}
+
+func TestDelallocDeleteDropsBuffers(t *testing.T) {
+	s := newDelalloc(t, 1<<20)
+	s.CreateObject(1, vanillaFactory, 0)
+	stream := core.StreamID{Client: 1, PID: 1}
+	if err := s.Write(1, stream, 0, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if s.BufferedBlocks() != 0 {
+		t.Fatal("delete should drop buffered writes")
+	}
+	a := s.Allocator()
+	if a.FreeBlocks() != a.Total() {
+		t.Fatal("deleted never-flushed object should free everything")
+	}
+	// Flushing afterwards must not resurrect the object.
+	s.Flush()
+}
+
+func TestDelallocCoalescingBeatsSyncHeavy(t *testing.T) {
+	// The paper's positioning of the two techniques: delayed allocation
+	// places well when data lingers in memory, but explicit syncs
+	// shrink its window; frequent fsync should cost more extents.
+	run := func(fsyncEvery int64) int {
+		s := newDelalloc(t, 1<<20)
+		s.CreateObject(1, vanillaFactory, 0)
+		// Two interleaved streams extending disjoint regions.
+		for i := int64(0); i < 128; i++ {
+			for c := 0; c < 2; c++ {
+				stream := core.StreamID{Client: uint32(c), PID: 1}
+				if err := s.Write(1, stream, int64(c)*512+i*4, 4); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if fsyncEvery > 0 && (i+1)%fsyncEvery == 0 {
+				if err := s.Fsync(1); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		s.Flush()
+		n, err := s.ExtentCount(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	relaxed := run(0) // single flush at the end
+	syncHeavy := run(1)
+	if relaxed > 4 {
+		t.Fatalf("fully-buffered delayed allocation should coalesce to few extents, got %d", relaxed)
+	}
+	if syncHeavy <= relaxed*8 {
+		t.Fatalf("per-write fsync should fragment delayed allocation: %d vs %d extents", syncHeavy, relaxed)
+	}
+}
+
+func TestOnDemandStableUnderSyncPressure(t *testing.T) {
+	// On-demand preallocation "can improve data placement on concurrent
+	// access without any runtime assumption": its layout quality must
+	// not depend on the fsync interval.
+	run := func(fsyncEvery int64) int {
+		cfg := DefaultConfig()
+		s := NewServer(0, cfg)
+		s.CreateObject(1, onDemandFactory, 0)
+		for i := int64(0); i < 128; i++ {
+			for c := 0; c < 2; c++ {
+				stream := core.StreamID{Client: uint32(c), PID: 1}
+				if err := s.Write(1, stream, int64(c)*512+i*4, 4); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if fsyncEvery > 0 && (i+1)%fsyncEvery == 0 {
+				if err := s.Fsync(1); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		s.Flush()
+		n, err := s.ExtentCount(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	relaxed := run(0)
+	syncHeavy := run(1)
+	if syncHeavy != relaxed {
+		t.Fatalf("on-demand extents should be sync-invariant: %d vs %d", syncHeavy, relaxed)
+	}
+}

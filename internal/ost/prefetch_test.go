@@ -1,0 +1,94 @@
+package ost
+
+import (
+	"testing"
+
+	"redbud/internal/core"
+)
+
+func TestReadaheadExtendsThroughExtent(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ReadAheadBlocks = 64
+	s := NewServer(0, cfg)
+	s.CreateObject(1, staticFactory, 512)
+	if err := s.Fallocate(1, core.StreamID{}, 512); err != nil {
+		t.Fatal(err)
+	}
+	stream := core.StreamID{Client: 1, PID: 1}
+	if err := s.Write(1, stream, 0, 512); err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+	s.Disk().ResetStats()
+	// 8-block sequential reads over a contiguous extent: readahead
+	// fetches 64 at a time, so 7 of every 8 requests are free.
+	for off := int64(0); off < 512; off += 8 {
+		if err := s.Read(1, off, 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Flush()
+	if got := s.Disk().Stats().Requests; got > 10 {
+		t.Fatalf("readahead should collapse 64 reads into ~8 disk requests, got %d", got)
+	}
+	if s.PrefetchHits() < 400 {
+		t.Fatalf("PrefetchHits = %d, want most of the 512 blocks", s.PrefetchHits())
+	}
+}
+
+func TestReadaheadBoundedByExtent(t *testing.T) {
+	// A fragmented layout defeats readahead: each extent ends after 4
+	// blocks, so every request costs a disk access.
+	cfg := DefaultConfig()
+	cfg.ReadAheadBlocks = 64
+	s := NewServer(0, cfg)
+	s.CreateObject(1, reservationFactory, 0)
+	// Two interleaved streams at 4-block granularity fragment both
+	// regions.
+	for i := int64(0); i < 64; i++ {
+		for c := 0; c < 2; c++ {
+			stream := core.StreamID{Client: uint32(c), PID: 1}
+			if err := s.Write(1, stream, int64(c)*256+i*4, 4); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	s.Flush()
+	s.Disk().ResetStats()
+	for off := int64(0); off < 256; off += 4 {
+		if err := s.Read(1, off, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Flush()
+	if got := s.Disk().Stats().Requests; got < 32 {
+		t.Fatalf("fragmented extents should bound readahead: got only %d requests", got)
+	}
+}
+
+func TestPrefetchEpochEviction(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ReadAheadBlocks = 64
+	cfg.PrefetchCacheBlocks = 128
+	s := NewServer(0, cfg)
+	s.CreateObject(1, staticFactory, 1024)
+	s.Fallocate(1, core.StreamID{}, 1024)
+	stream := core.StreamID{Client: 1, PID: 1}
+	s.Write(1, stream, 0, 1024)
+	s.Flush()
+	// Stream through more data than the cache holds; the epoch clears
+	// and re-reads still work.
+	for pass := 0; pass < 2; pass++ {
+		for off := int64(0); off < 1024; off += 32 {
+			if err := s.Read(1, off, 32); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	s.Flush()
+	// With a 128-block cache over a 1024-block file, the second pass
+	// cannot be fully served from memory.
+	if got := s.Disk().Stats().BlocksRead; got <= 1024 {
+		t.Fatalf("BlocksRead = %d: epoch eviction should force re-reads on pass 2", got)
+	}
+}

@@ -1,0 +1,124 @@
+package ost
+
+import (
+	"testing"
+
+	"redbud/internal/core"
+)
+
+func TestTruncateFreesTail(t *testing.T) {
+	s := NewServer(0, DefaultConfig())
+	s.CreateObject(1, onDemandFactory, 0)
+	stream := core.StreamID{Client: 1, PID: 1}
+	if err := s.Write(1, stream, 0, 256); err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+	freeBefore := s.Allocator().FreeBlocks()
+	if err := s.Truncate(1, 64); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Allocator().FreeBlocks(); got <= freeBefore {
+		t.Fatalf("truncate should free blocks: %d -> %d", freeBefore, got)
+	}
+	// The head survives and verifies; the tail is gone.
+	if err := s.Read(1, 0, 64); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Read(1, 64, 1); err == nil {
+		t.Fatal("reading past the truncation point should fail")
+	}
+	// Re-extending works.
+	if err := s.Write(1, stream, 64, 32); err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+	if err := s.Read(1, 0, 96); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruncateMidExtent(t *testing.T) {
+	s := NewServer(0, DefaultConfig())
+	s.CreateObject(1, reservationFactory, 0)
+	stream := core.StreamID{Client: 1, PID: 1}
+	if err := s.Write(1, stream, 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Truncate(1, 33); err != nil {
+		t.Fatal(err)
+	}
+	owned, _ := s.OwnedBlocks(1)
+	if owned != 33 {
+		t.Fatalf("owned = %d after mid-extent truncate, want 33", owned)
+	}
+	s.Flush()
+	if err := s.Read(1, 0, 33); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruncateToZeroThenDelete(t *testing.T) {
+	s := NewServer(0, DefaultConfig())
+	s.CreateObject(1, onDemandFactory, 0)
+	stream := core.StreamID{Client: 1, PID: 1}
+	if err := s.Write(1, stream, 0, 128); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Truncate(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := s.ExtentCount(1); n != 0 {
+		t.Fatalf("extents after truncate-to-zero = %d", n)
+	}
+	if err := s.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	a := s.Allocator()
+	if a.FreeBlocks() != a.Total() {
+		t.Fatalf("leaked %d blocks", a.Total()-a.FreeBlocks())
+	}
+}
+
+func TestTruncateGrowIsNoop(t *testing.T) {
+	s := NewServer(0, DefaultConfig())
+	s.CreateObject(1, vanillaFactory, 0)
+	stream := core.StreamID{Client: 1, PID: 1}
+	if err := s.Write(1, stream, 0, 16); err != nil {
+		t.Fatal(err)
+	}
+	owned, _ := s.OwnedBlocks(1)
+	if err := s.Truncate(1, 4096); err != nil {
+		t.Fatal(err)
+	}
+	owned2, _ := s.OwnedBlocks(1)
+	if owned != owned2 {
+		t.Fatalf("growing truncate changed owned blocks %d -> %d", owned, owned2)
+	}
+	if err := s.Truncate(1, -1); err == nil {
+		t.Fatal("negative truncate should fail")
+	}
+}
+
+func TestTruncateWithDelalloc(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DelayedAllocation = true
+	s := NewServer(0, cfg)
+	s.CreateObject(1, vanillaFactory, 0)
+	stream := core.StreamID{Client: 1, PID: 1}
+	if err := s.Write(1, stream, 0, 64); err != nil {
+		t.Fatal(err)
+	}
+	// Buffered writes must be flushed by truncate, then cut.
+	if err := s.Truncate(1, 16); err != nil {
+		t.Fatal(err)
+	}
+	owned, _ := s.OwnedBlocks(1)
+	if owned != 16 {
+		t.Fatalf("owned = %d, want 16", owned)
+	}
+	s.Flush()
+	if err := s.Read(1, 0, 16); err != nil {
+		t.Fatal(err)
+	}
+}

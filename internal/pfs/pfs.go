@@ -1,0 +1,559 @@
+// Package pfs assembles Redbud: the block-based parallel file system the
+// MiF techniques were implemented in. A mount wires one metadata server to
+// a set of IO servers, stripes file data across them, and applies the
+// configured allocation policy and directory layout.
+//
+// Config profiles reproduce the paper's comparison set: the MiF system
+// (on-demand preallocation + embedded directories), the original Redbud
+// (reservation + ext3-style directories), and the Lustre-like baseline
+// (reservation + Htree-indexed ext4-style MDS).
+package pfs
+
+import (
+	"fmt"
+	"sync"
+
+	"redbud/internal/core"
+	"redbud/internal/disk"
+	"redbud/internal/extent"
+	"redbud/internal/inode"
+	"redbud/internal/mdfs"
+	"redbud/internal/mds"
+	"redbud/internal/netsim"
+	"redbud/internal/ost"
+	"redbud/internal/sim"
+)
+
+// PolicyKind selects the data-placement policy applied at the IO servers.
+type PolicyKind int
+
+// Placement policies, matching the evaluation's comparison set.
+const (
+	PolicyVanilla PolicyKind = iota
+	PolicyReservation
+	PolicyOnDemand
+	PolicyStatic
+)
+
+// String names the policy for benchmark tables.
+func (p PolicyKind) String() string {
+	switch p {
+	case PolicyVanilla:
+		return "vanilla"
+	case PolicyReservation:
+		return "reservation"
+	case PolicyOnDemand:
+		return "on-demand"
+	case PolicyStatic:
+		return "static"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Config describes one Redbud mount.
+type Config struct {
+	// Name labels the configuration in reports.
+	Name string
+	// OSTs is the number of IO servers (the paper stripes over 5 or 8
+	// disks depending on the experiment).
+	OSTs int
+	// OST configures each IO server.
+	OST ost.Config
+	// StripeBlocks is the stripe unit in blocks.
+	StripeBlocks int64
+	// MDS configures the metadata server.
+	MDS mds.Config
+	// Policy selects the data-placement policy.
+	Policy PolicyKind
+	// ReservationWindow is the per-inode window size in blocks for the
+	// reservation policy (Figure 6(b) sweeps it).
+	ReservationWindow int64
+	// OnDemand configures the MiF policy.
+	OnDemand core.OnDemandConfig
+}
+
+// MiF returns the full MiF system: on-demand preallocation and embedded
+// directories.
+func MiF(osts int) Config {
+	return Config{
+		Name:         "MiF",
+		OSTs:         osts,
+		OST:          ost.DefaultConfig(),
+		StripeBlocks: 64, // 256 KiB stripe unit
+		MDS:          mds.DefaultConfig(mdfs.LayoutEmbedded),
+		Policy:       PolicyOnDemand,
+		OnDemand:     core.DefaultOnDemandConfig(),
+	}
+}
+
+// RedbudOrig returns the original Redbud baseline: reservation
+// preallocation and traditional (ext3) directory placement.
+func RedbudOrig(osts int) Config {
+	return Config{
+		Name:              "Redbud",
+		OSTs:              osts,
+		OST:               ost.DefaultConfig(),
+		StripeBlocks:      64,
+		MDS:               mds.DefaultConfig(mdfs.LayoutNormal),
+		Policy:            PolicyReservation,
+		ReservationWindow: 2048, // 8 MiB, the ext4 default neighbourhood
+	}
+}
+
+// LustreLike returns the Lustre baseline: reservation preallocation and an
+// Htree-indexed ext4-style MDS.
+func LustreLike(osts int) Config {
+	cfg := RedbudOrig(osts)
+	cfg.Name = "Lustre"
+	cfg.MDS.FS.Htree = true
+	return cfg
+}
+
+// WithPolicy returns a copy of cfg running a different placement policy,
+// for the policy-sweep experiments.
+func (c Config) WithPolicy(p PolicyKind) Config {
+	c.Policy = p
+	c.Name = p.String()
+	return c
+}
+
+// file is one open or known file: its MDS inode and its per-OST objects.
+type file struct {
+	ino      inode.Ino
+	objects  []ost.ObjectID // index = OST
+	sizeHint int64          // declared size in blocks (static policy)
+	extents  int            // last extent count reported to the MDS
+}
+
+// FS is one mounted Redbud instance.
+type FS struct {
+	cfg Config
+
+	mu      sync.Mutex
+	mds     *mds.Server
+	osts    []*ost.Server
+	fabric  *netsim.Fabric // per-OST FibreChannel data paths
+	files   map[inode.Ino]*file
+	nextObj uint64
+}
+
+// New formats and mounts a Redbud file system.
+func New(cfg Config) (*FS, error) {
+	if cfg.OSTs <= 0 {
+		return nil, fmt.Errorf("pfs: need at least one OST, got %d", cfg.OSTs)
+	}
+	if cfg.StripeBlocks <= 0 {
+		return nil, fmt.Errorf("pfs: invalid stripe unit %d", cfg.StripeBlocks)
+	}
+	srv, err := mds.New(cfg.MDS)
+	if err != nil {
+		return nil, err
+	}
+	fs := &FS{
+		cfg:    cfg,
+		mds:    srv,
+		fabric: netsim.NewFabric(netsim.FC400(), cfg.OSTs),
+		files:  make(map[inode.Ino]*file),
+	}
+	for i := 0; i < cfg.OSTs; i++ {
+		fs.osts = append(fs.osts, ost.NewServer(i, cfg.OST))
+	}
+	return fs, nil
+}
+
+// Config returns the mount configuration.
+func (fs *FS) Config() Config { return fs.cfg }
+
+// MDS exposes the metadata server for measurement.
+func (fs *FS) MDS() *mds.Server { return fs.mds }
+
+// OST exposes IO server i for measurement.
+func (fs *FS) OST(i int) *ost.Server { return fs.osts[i] }
+
+// OSTs returns the IO server count.
+func (fs *FS) OSTs() int { return len(fs.osts) }
+
+// Root returns the root directory.
+func (fs *FS) Root() inode.Ino { return fs.mds.Root() }
+
+// policyFactory builds the configured placement policy.
+func (fs *FS) policyFactory() ost.PolicyFactory {
+	switch fs.cfg.Policy {
+	case PolicyOnDemand:
+		od := fs.cfg.OnDemand
+		return func(src core.BlockSource, _ int64) core.Policy {
+			return core.NewOnDemand(src, od)
+		}
+	case PolicyReservation:
+		window := fs.cfg.ReservationWindow
+		if window <= 0 {
+			window = 2048
+		}
+		return func(src core.BlockSource, _ int64) core.Policy {
+			return core.NewReservation(src, window)
+		}
+	case PolicyStatic:
+		return func(src core.BlockSource, sizeHint int64) core.Policy {
+			if sizeHint <= 0 {
+				sizeHint = 1
+			}
+			return core.NewStatic(src, sizeHint)
+		}
+	default:
+		return func(src core.BlockSource, _ int64) core.Policy {
+			return core.NewVanilla(src)
+		}
+	}
+}
+
+// Mkdir creates a directory.
+func (fs *FS) Mkdir(parent inode.Ino, name string) (inode.Ino, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.mds.Mkdir(parent, name)
+}
+
+// Create creates a file striped across the IO servers. sizeHintBlocks
+// declares the expected file size (in file-system blocks); the static
+// policy fallocates it, other policies ignore it.
+func (fs *FS) Create(parent inode.Ino, name string, sizeHintBlocks int64) (*File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	ino, err := fs.mds.Create(parent, name)
+	if err != nil {
+		return nil, err
+	}
+	f := &file{ino: ino, sizeHint: sizeHintBlocks}
+	factory := fs.policyFactory()
+	perOST := fs.componentSizeHint(sizeHintBlocks)
+	for i, srv := range fs.osts {
+		id := ost.ObjectID(fs.nextObj + 1)
+		fs.nextObj++
+		if err := srv.CreateObject(id, factory, perOST); err != nil {
+			return nil, err
+		}
+		f.objects = append(f.objects, id)
+		_ = i
+	}
+	if fs.cfg.Policy == PolicyStatic && sizeHintBlocks > 0 {
+		for i, srv := range fs.osts {
+			n := fs.componentBlocks(sizeHintBlocks, i)
+			if n == 0 {
+				continue
+			}
+			if err := srv.Fallocate(f.objects[i], core.StreamID{}, n); err != nil {
+				return nil, err
+			}
+		}
+	}
+	fs.files[ino] = f
+	return &File{fs: fs, f: f, parent: parent, name: name}, nil
+}
+
+// Open opens an existing file with the aggregated open+getlayout request.
+func (fs *FS) Open(parent inode.Ino, name string) (*File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	ino, _, err := fs.mds.OpenGetLayout(parent, name)
+	if err != nil {
+		return nil, err
+	}
+	f, ok := fs.files[ino]
+	if !ok {
+		return nil, fmt.Errorf("pfs: inode %v has no objects (file created outside this mount)", ino)
+	}
+	return &File{fs: fs, f: f, parent: parent, name: name}, nil
+}
+
+// Delete removes a file: its MDS entry and its OST objects.
+func (fs *FS) Delete(parent inode.Ino, name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	ino, err := fs.mds.Lookup(parent, name)
+	if err != nil {
+		return err
+	}
+	ino = fs.mds.FS().Resolve(ino)
+	if err := fs.mds.Unlink(parent, name); err != nil {
+		return err
+	}
+	f, ok := fs.files[ino]
+	if !ok {
+		return nil // metadata-only file (no data written)
+	}
+	for i, srv := range fs.osts {
+		if err := srv.Delete(f.objects[i]); err != nil {
+			return err
+		}
+	}
+	delete(fs.files, ino)
+	return nil
+}
+
+// componentSizeHint returns the per-OST object size hint for a striped
+// file of total blocks.
+func (fs *FS) componentSizeHint(total int64) int64 {
+	if total <= 0 {
+		return 0
+	}
+	per := total / int64(len(fs.osts))
+	return per + fs.cfg.StripeBlocks // slack for uneven striping
+}
+
+// componentBlocks returns how many blocks of a total-block file land on
+// OST i.
+func (fs *FS) componentBlocks(total int64, i int) int64 {
+	var n int64
+	for b := int64(0); b < total; b += fs.cfg.StripeBlocks {
+		end := b + fs.cfg.StripeBlocks
+		if end > total {
+			end = total
+		}
+		if int((b/fs.cfg.StripeBlocks)%int64(len(fs.osts))) == i {
+			n += end - b
+		}
+	}
+	return n
+}
+
+// stripe maps the file logical range [blk, blk+count) onto per-OST
+// component ranges.
+type stripePiece struct {
+	ostIdx  int
+	logical int64 // component-local logical block
+	count   int64
+}
+
+// stripeRange splits a file-logical range into component pieces.
+func (fs *FS) stripeRange(blk, count int64) []stripePiece {
+	var out []stripePiece
+	n := int64(len(fs.osts))
+	su := fs.cfg.StripeBlocks
+	for count > 0 {
+		stripeIdx := blk / su
+		within := blk % su
+		run := su - within
+		if run > count {
+			run = count
+		}
+		piece := stripePiece{
+			ostIdx:  int(stripeIdx % n),
+			logical: (stripeIdx/n)*su + within,
+			count:   run,
+		}
+		if m := len(out); m > 0 && out[m-1].ostIdx == piece.ostIdx &&
+			out[m-1].logical+out[m-1].count == piece.logical {
+			out[m-1].count += run
+		} else {
+			out = append(out, piece)
+		}
+		blk += run
+		count -= run
+	}
+	return out
+}
+
+// Flush forces all queued device requests on every IO server.
+func (fs *FS) Flush() {
+	for _, srv := range fs.osts {
+		srv.Flush()
+	}
+}
+
+// Sync flushes the IO servers and the metadata server.
+func (fs *FS) Sync() error {
+	fs.Flush()
+	return fs.mds.Sync()
+}
+
+// DataBusyMax returns the elapsed time of a data phase executed in
+// parallel across the stripe: the largest per-component timeline, where a
+// component's timeline is the longer of its disk and its FibreChannel
+// link (they pipeline).
+func (fs *FS) DataBusyMax() sim.Ns {
+	var max sim.Ns
+	for i, srv := range fs.osts {
+		b := srv.Disk().Stats().BusyNs
+		if n := fs.fabric.Link(i).Stats().BusyNs; n > b {
+			b = n
+		}
+		if b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// Fabric exposes the data network for measurement.
+func (fs *FS) Fabric() *netsim.Fabric { return fs.fabric }
+
+// DataStats returns the summed IO-server disk counters.
+func (fs *FS) DataStats() disk.Stats {
+	var total disk.Stats
+	for _, srv := range fs.osts {
+		total = total.Add(srv.Disk().Stats())
+	}
+	return total
+}
+
+// ResetDataStats zeroes the IO-server disk and network counters for a new
+// phase.
+func (fs *FS) ResetDataStats() {
+	for _, srv := range fs.osts {
+		srv.Disk().ResetStats()
+	}
+	fs.fabric.Reset()
+}
+
+// TotalExtents returns a file's segment count summed over its stripe
+// components — the paper's Table I metric.
+func (fs *FS) TotalExtents(f *File) (int, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.totalExtentsLocked(f.f)
+}
+
+func (fs *FS) totalExtentsLocked(f *file) (int, error) {
+	total := 0
+	for i, srv := range fs.osts {
+		n, err := srv.ExtentCount(f.objects[i])
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// File is an open handle on a striped file.
+type File struct {
+	fs     *FS
+	f      *file
+	parent inode.Ino
+	name   string
+}
+
+// Ino returns the file's inode number.
+func (h *File) Ino() inode.Ino { return h.f.ino }
+
+// ObjectID returns the file's object ID on IO server i, for inspection
+// tooling.
+func (h *File) ObjectID(i int) ost.ObjectID { return h.f.objects[i] }
+
+// Write stores count blocks at file-logical block blk on behalf of stream.
+func (h *File) Write(stream core.StreamID, blk, count int64) error {
+	if count <= 0 || blk < 0 {
+		return fmt.Errorf("pfs: invalid write [%d,+%d)", blk, count)
+	}
+	fs := h.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	before, err := fs.totalExtentsLocked(h.f)
+	if err != nil {
+		return err
+	}
+	for _, p := range fs.stripeRange(blk, count) {
+		fs.fabric.Link(p.ostIdx).Transfer(p.count * fs.cfg.OST.Disk.BlockSize)
+		if err := fs.osts[p.ostIdx].Write(h.f.objects[p.ostIdx], stream, p.logical, p.count); err != nil {
+			return err
+		}
+	}
+	after, err := fs.totalExtentsLocked(h.f)
+	if err != nil {
+		return err
+	}
+	// Mapping churn charges the MDS CPU model: the units inserted or
+	// merged, plus an indexing term that grows with the map the servers
+	// and MDS must search per operation — "increased metadata overhead
+	// of high fragmentation rate causes less efficient mapping".
+	churn := after - before
+	if churn < 0 {
+		churn = -churn
+	}
+	fs.mds.NoteExtentChurn(churn + 1 + after/1024)
+	h.f.extents = after
+	return nil
+}
+
+// Read fetches count blocks at file-logical block blk.
+func (h *File) Read(blk, count int64) error {
+	if count <= 0 || blk < 0 {
+		return fmt.Errorf("pfs: invalid read [%d,+%d)", blk, count)
+	}
+	fs := h.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for _, p := range fs.stripeRange(blk, count) {
+		fs.fabric.Link(p.ostIdx).Transfer(p.count * fs.cfg.OST.Disk.BlockSize)
+		if err := fs.osts[p.ostIdx].Read(h.f.objects[p.ostIdx], p.logical, p.count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Truncate cuts the file to sizeBlocks, freeing the mappings beyond the
+// boundary on every IO server.
+func (h *File) Truncate(sizeBlocks int64) error {
+	if sizeBlocks < 0 {
+		return fmt.Errorf("pfs: invalid truncate to %d", sizeBlocks)
+	}
+	fs := h.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for i, srv := range fs.osts {
+		if err := srv.Truncate(h.f.objects[i], fs.componentBlocks(sizeBlocks, i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fsync forces the file's buffered writes (under delayed allocation) and
+// queued device I/O to storage on every IO server — the explicit sync
+// whose frequency decides whether delayed allocation can coalesce.
+func (h *File) Fsync() error {
+	fs := h.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for i, srv := range fs.osts {
+		if err := srv.Fsync(h.f.objects[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close releases the file's temporary reservations and records its layout
+// summary at the MDS.
+func (h *File) Close() error {
+	fs := h.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var layout []extent.Extent
+	for i, srv := range fs.osts {
+		if err := srv.CloseObject(h.f.objects[i]); err != nil {
+			return err
+		}
+		exts, err := srv.Extents(h.f.objects[i])
+		if err != nil {
+			return err
+		}
+		// The MDS records a bounded per-component summary that fits
+		// the inode tail in the common case ("in most cases, the
+		// file layout mapping is stuffed in the inode"); the full
+		// maps stay at the servers.
+		if len(exts) > 0 && len(layout) < extent.InlineSummary {
+			layout = append(layout, extent.Extent{
+				Logical:  int64(i),
+				Physical: exts[0].Physical,
+				Count:    exts[0].Count,
+			})
+		}
+		h.f.extents += len(exts)
+	}
+	all := make([]extent.Extent, 0, len(layout))
+	all = append(all, layout...)
+	return fs.mds.SetLayout(h.f.ino, all)
+}

@@ -1,0 +1,131 @@
+package pfs
+
+import (
+	"fmt"
+	"testing"
+
+	"redbud/internal/core"
+)
+
+// TestFullSystemRestart exercises the whole stack's durability story: the
+// MDS crashes and replays its journal, the IO servers reboot losing their
+// volatile state (sequential windows, prefetch cache), and the namespace,
+// data, and persistent preallocations all survive.
+func TestFullSystemRestart(t *testing.T) {
+	fs := newMiF(t, 4)
+	dir, err := fs.Mkdir(fs.Root(), "run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := core.StreamID{Client: 1, PID: 1}
+	var handles []*File
+	for i := 0; i < 10; i++ {
+		f, err := fs.Create(dir, fmt.Sprintf("out%d", i), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for off := int64(0); off < 64; off += 8 {
+			if err := f.Write(stream, off, 8); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, f)
+	}
+	// Commit the MDS journal without checkpointing, then crash it.
+	mfs := fs.MDS().FS()
+	if err := mfs.Store().Commit(); err != nil {
+		t.Fatal(err)
+	}
+	mfs.Store().Crash()
+	mfs.Store().Recover()
+	if err := mfs.Remount(); err != nil {
+		t.Fatal(err)
+	}
+	// Reboot every IO server.
+	for i := 0; i < fs.OSTs(); i++ {
+		fs.OST(i).Restart()
+	}
+
+	// Namespace intact.
+	recs, err := fs.MDS().ReaddirPlus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 10 {
+		t.Fatalf("readdirplus after restart = %d entries, want 10", len(recs))
+	}
+	// Data intact and verified end to end.
+	for _, f := range handles {
+		if err := f.Read(0, 64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs.Flush()
+	// No volatile reservations survive.
+	for i := 0; i < fs.OSTs(); i++ {
+		if n := fs.OST(i).Allocator().ReservedBlocks(); n != 0 {
+			t.Fatalf("OST %d still holds %d reserved blocks after reboot", i, n)
+		}
+	}
+	// The system keeps working: new writes, deletes, fsck-clean MDS.
+	f, err := fs.Create(dir, "post-restart", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Write(stream, 0, 16); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Delete(dir, "out3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if report := mfs.Fsck(); !report.Clean() {
+		t.Fatalf("MDS not clean after restart cycle:\n%v", report.Problems)
+	}
+}
+
+// TestTruncateThroughStripe verifies the striped truncate path.
+func TestTruncateThroughStripe(t *testing.T) {
+	fs := newMiF(t, 4)
+	f, err := fs.Create(fs.Root(), "t", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := core.StreamID{Client: 1, PID: 1}
+	if err := f.Write(stream, 0, 1024); err != nil {
+		t.Fatal(err)
+	}
+	fs.Flush()
+	if err := f.Truncate(300); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Read(0, 300); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Read(300, 8); err == nil {
+		t.Fatal("reading past the truncation point should fail")
+	}
+	// Owned space shrank on every component.
+	var owned int64
+	for i := 0; i < fs.OSTs(); i++ {
+		n, err := fs.OST(i).OwnedBlocks(f.ObjectID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		owned += n
+	}
+	if owned >= 1024 {
+		t.Fatalf("owned after truncate = %d, want < 1024", owned)
+	}
+	if err := f.Truncate(-1); err == nil {
+		t.Fatal("negative truncate should fail")
+	}
+}

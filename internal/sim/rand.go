@@ -1,0 +1,75 @@
+package sim
+
+// Rand is a small, deterministic pseudo-random number generator
+// (SplitMix64). Every workload generator in this repository takes an
+// explicit seed and derives all randomness from a Rand, so identical seeds
+// reproduce identical request streams, allocations, and therefore identical
+// simulated results.
+//
+// math/rand would also do, but a self-contained generator keeps the
+// algorithm (and thus the byte-for-byte reproducibility of EXPERIMENTS.md)
+// independent of the Go release.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded with seed. Two generators with the same
+// seed produce the same sequence.
+func NewRand(seed uint64) *Rand {
+	return &Rand{state: seed + 0x9E3779B97F4A7C15}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Int63n returns a uniform pseudo-random int64 in [0, n). It panics if
+// n <= 0.
+func (r *Rand) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("sim: Int63n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Intn returns a uniform pseudo-random int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int { return int(r.Int63n(int64(n))) }
+
+// Float64 returns a uniform pseudo-random float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle pseudo-randomly reorders n elements using the provided swap
+// function, mirroring math/rand.Shuffle.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Fork derives an independent generator from r. Forked generators let
+// concurrent workload streams draw randomness without sharing state while
+// staying fully determined by the root seed.
+func (r *Rand) Fork() *Rand {
+	return NewRand(r.Uint64())
+}

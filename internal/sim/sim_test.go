@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatal("zero clock should read 0")
+	}
+	if got := c.Advance(100); got != 100 {
+		t.Fatalf("Advance = %d, want 100", got)
+	}
+	if got := c.AdvanceTo(50); got != 100 {
+		t.Fatalf("AdvanceTo backwards moved the clock: %d", got)
+	}
+	if got := c.AdvanceTo(250); got != 250 {
+		t.Fatalf("AdvanceTo = %d, want 250", got)
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatal("Reset should rewind to 0")
+	}
+}
+
+func TestAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Advance should panic")
+		}
+	}()
+	var c Clock
+	c.Advance(-1)
+}
+
+func TestMBps(t *testing.T) {
+	if got := MBps(170e6, Second); got != 170 {
+		t.Fatalf("MBps = %g, want 170", got)
+	}
+	if got := MBps(100, 0); got != 0 {
+		t.Fatalf("MBps with zero duration = %g, want 0", got)
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must produce the same sequence")
+		}
+	}
+	c := NewRand(43)
+	same := true
+	a = NewRand(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should diverge")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRand(9)
+	for i := 0; i < 1000; i++ {
+		if v := r.Float64(); v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %g", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRand(seed)
+		p := r.Perm(20)
+		seen := make([]bool, 20)
+		for _, v := range p {
+			if v < 0 || v >= 20 || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	r := NewRand(1)
+	f1 := r.Fork()
+	f2 := r.Fork()
+	if f1.Uint64() == f2.Uint64() {
+		t.Fatal("forked generators should differ")
+	}
+}
+
+func TestShuffleKeepsElements(t *testing.T) {
+	r := NewRand(5)
+	xs := []int{1, 2, 3, 4, 5, 6}
+	sum := 0
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	for _, v := range xs {
+		sum += v
+	}
+	if sum != 21 {
+		t.Fatalf("shuffle lost elements: %v", xs)
+	}
+}

@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"redbud/internal/sim"
+)
+
+func TestDistBasics(t *testing.T) {
+	var d Dist
+	if d.Count() != 0 || d.Mean() != 0 || d.Min() != 0 || d.Max() != 0 || d.Percentile(50) != 0 {
+		t.Fatal("empty distribution should read zeros")
+	}
+	for _, v := range []int64{5, 1, 9, 3, 7} {
+		d.Add(v)
+	}
+	if d.Count() != 5 || d.Sum() != 25 {
+		t.Fatalf("count/sum = %d/%d", d.Count(), d.Sum())
+	}
+	if d.Mean() != 5 {
+		t.Fatalf("mean = %g", d.Mean())
+	}
+	if d.Min() != 1 || d.Max() != 9 {
+		t.Fatalf("min/max = %d/%d", d.Min(), d.Max())
+	}
+	if got := d.Percentile(50); got != 5 {
+		t.Fatalf("p50 = %d, want 5", got)
+	}
+	if got := d.Percentile(100); got != 9 {
+		t.Fatalf("p100 = %d, want 9", got)
+	}
+	if got := d.Percentile(1); got != 1 {
+		t.Fatalf("p1 = %d, want 1", got)
+	}
+	if d.Stddev() <= 0 {
+		t.Fatal("stddev should be positive")
+	}
+}
+
+func TestDistPercentileBounds(t *testing.T) {
+	var d Dist
+	d.Add(1)
+	for _, p := range []float64{0, -5, 101} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Percentile(%g) should panic", p)
+				}
+			}()
+			d.Percentile(p)
+		}()
+	}
+}
+
+// Property: percentiles are monotone and bounded by min/max, and adding
+// after reading percentiles stays consistent.
+func TestDistMonotoneProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRand(seed)
+		var d Dist
+		n := rng.Intn(200) + 1
+		for i := 0; i < n; i++ {
+			d.Add(rng.Int63n(1000))
+			if rng.Intn(5) == 0 {
+				_ = d.Percentile(50) // interleaved reads must not corrupt
+			}
+		}
+		prev := d.Min()
+		for p := 5.0; p <= 100; p += 5 {
+			v := d.Percentile(p)
+			if v < prev || v > d.Max() {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("system", "ops/s", "gain")
+	tab.AddRow("normal", "1517", "")
+	tab.AddRow("embedded", "4014", "+165%")
+	var sb strings.Builder
+	if err := tab.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("rendered %d lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "system") || !strings.Contains(lines[3], "+165%") {
+		t.Fatalf("unexpected render:\n%s", out)
+	}
+	// Numeric right-alignment: "1517" and "4014" end at the same column.
+	i2 := strings.Index(lines[2], "1517")
+	i3 := strings.Index(lines[3], "4014")
+	if i2 != i3 {
+		t.Fatalf("numeric cells misaligned:\n%s", out)
+	}
+}
+
+func TestTableRowBounds(t *testing.T) {
+	tab := NewTable("a", "b")
+	tab.AddRow("only") // short rows pad
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized row should panic")
+		}
+	}()
+	tab.AddRow("1", "2", "3")
+}
+
+func TestIsNumeric(t *testing.T) {
+	for _, s := range []string{"12", "-3.5", "+7", "99%", "147.9 MB/s"} {
+		if !isNumeric(s) {
+			t.Errorf("%q should be numeric", s)
+		}
+	}
+	for _, s := range []string{"", "abc", "1.2.3", "12a"} {
+		if isNumeric(s) {
+			t.Errorf("%q should not be numeric", s)
+		}
+	}
+}

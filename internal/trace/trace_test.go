@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"redbud/internal/core"
+	"redbud/internal/sim"
+)
+
+func TestRoundTrip(t *testing.T) {
+	ops := []Op{
+		{Kind: OpWrite, Stream: core.StreamID{Client: 2, PID: 3}, Blk: 100, Count: 8},
+		{Kind: OpRead, Blk: 0, Count: 64},
+		{Kind: OpWrite, Stream: core.StreamID{Client: 0, PID: 0}, Blk: 0, Count: 1},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, ops); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ops) {
+		t.Fatalf("got %d ops, want %d", len(got), len(ops))
+	}
+	for i := range ops {
+		if got[i] != ops[i] {
+			t.Fatalf("op %d: %+v, want %+v", i, got[i], ops[i])
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\nW 1.2 10 4\n  \n# trailing\nR 0 8\n"
+	ops, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 2 {
+		t.Fatalf("ops = %v", ops)
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"X 1 2",
+		"W 1.2 10",
+		"W 12 10 4",
+		"W 1.2 -5 4",
+		"W 1.2 5 0",
+		"R 5",
+		"R a b",
+		"W a.b 1 1",
+	} {
+		if _, err := Read(strings.NewReader(bad)); err == nil {
+			t.Errorf("line %q should be rejected", bad)
+		}
+	}
+}
+
+func TestGeneratePatterns(t *testing.T) {
+	for _, pattern := range []string{"shared", "strided", "random"} {
+		ops, err := Generate(GenConfig{
+			Pattern: pattern, Streams: 8, RegionBlocks: 64, RequestBlocks: 8,
+			ReadBack: true, Seed: 3,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", pattern, err)
+		}
+		var writeBlocks, readBlocks int64
+		for _, op := range ops {
+			if op.Count <= 0 || op.Blk < 0 {
+				t.Fatalf("%s: invalid op %+v", pattern, op)
+			}
+			if op.Kind == OpWrite {
+				writeBlocks += op.Count
+			} else {
+				readBlocks += op.Count
+			}
+		}
+		if writeBlocks != 8*64 {
+			t.Fatalf("%s: wrote %d blocks, want 512", pattern, writeBlocks)
+		}
+		if readBlocks != 512 {
+			t.Fatalf("%s: read back %d blocks, want 512", pattern, readBlocks)
+		}
+	}
+	if _, err := Generate(GenConfig{Pattern: "nope", Streams: 1, RegionBlocks: 1, RequestBlocks: 1}); err == nil {
+		t.Fatal("unknown pattern should fail")
+	}
+	if _, err := Generate(GenConfig{Pattern: "shared"}); err == nil {
+		t.Fatal("zero config should fail")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := GenConfig{Pattern: "random", Streams: 4, RegionBlocks: 32, RequestBlocks: 4, Seed: 9}
+	a, _ := Generate(cfg)
+	b, _ := Generate(cfg)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic content")
+		}
+	}
+}
+
+// Property: any generated trace round-trips through the text format.
+func TestGenerateRoundTripProperty(t *testing.T) {
+	patterns := []string{"shared", "strided", "random"}
+	f := func(seed uint64) bool {
+		rng := sim.NewRand(seed)
+		cfg := GenConfig{
+			Pattern:       patterns[rng.Intn(3)],
+			Streams:       rng.Intn(8) + 1,
+			RegionBlocks:  rng.Int63n(64) + 1,
+			RequestBlocks: rng.Int63n(8) + 1,
+			ReadBack:      rng.Intn(2) == 0,
+			Seed:          rng.Uint64(),
+		}
+		ops, err := Generate(cfg)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if Write(&buf, ops) != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil || len(got) != len(ops) {
+			return false
+		}
+		for i := range ops {
+			if got[i] != ops[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,217 @@
+package workload
+
+import (
+	"fmt"
+
+	"redbud/internal/extent"
+	"redbud/internal/inode"
+	"redbud/internal/mdfs"
+	"redbud/internal/mds"
+	"redbud/internal/sim"
+)
+
+// AgingConfig parameterizes the Figure 9 experiment: "to achieve aging,
+// our program created and deleted a large number of files. After reaching
+// the desired file system utilization for the first time, our program
+// executed a number of metadata access with the same distribution."
+type AgingConfig struct {
+	// TargetUtilization is the device fill fraction to churn to.
+	TargetUtilization float64
+	// Layout and Htree select the system under test.
+	Layout mdfs.Layout
+	Htree  bool
+	// ChurnDirs is the number of directories the churn spreads over.
+	ChurnDirs int
+	// MeasureFiles is the number of creations/deletions measured after
+	// aging.
+	MeasureFiles int
+	// Seed drives the churn.
+	Seed uint64
+}
+
+// DefaultAgingConfig returns the Figure 9 shape.
+func DefaultAgingConfig(layout mdfs.Layout, target float64) AgingConfig {
+	return AgingConfig{
+		TargetUtilization: target,
+		Layout:            layout,
+		ChurnDirs:         8,
+		MeasureFiles:      1000,
+		Seed:              7,
+	}
+}
+
+// AgingResult reports one aging run.
+type AgingResult struct {
+	Config       string
+	Utilization  float64
+	CreatePerSec float64
+	DeletePerSec float64
+	// CreateRequests/DeleteRequests count block-layer requests during
+	// the measured phases.
+	CreateRequests int64
+	DeleteRequests int64
+	// CreatePositionings/DeletePositionings count full head repositions.
+	CreatePositionings int64
+	DeletePositionings int64
+}
+
+// agingFSConfig builds a small MDS device so churn reaches high
+// utilization quickly.
+func agingFSConfig(cfg AgingConfig) mds.Config {
+	mcfg := mds.DefaultConfig(cfg.Layout)
+	mcfg.FS.Blocks = 1 << 15 // 128 MiB device
+	mcfg.FS.JournalBlocks = 512
+	mcfg.FS.GroupBlocks = 8192
+	mcfg.FS.InodesPerGroup = 8192
+	mcfg.FS.CacheBlocks = 1024
+	mcfg.FS.SyncWrites = true
+	mcfg.FS.Htree = cfg.Htree
+	return mcfg
+}
+
+// RunAging churns the file system to the target utilization, then measures
+// creation and deletion throughput.
+func RunAging(cfg AgingConfig) (AgingResult, error) {
+	if cfg.TargetUtilization < 0 || cfg.TargetUtilization >= 0.95 {
+		return AgingResult{}, fmt.Errorf("workload: bad target utilization %g", cfg.TargetUtilization)
+	}
+	srv, err := mds.New(agingFSConfig(cfg))
+	if err != nil {
+		return AgingResult{}, err
+	}
+	fs := srv.FS()
+	rng := sim.NewRand(cfg.Seed)
+
+	dirs := make([]inode.Ino, cfg.ChurnDirs)
+	for i := range dirs {
+		d, err := srv.Mkdir(srv.Root(), fmt.Sprintf("churn%d", i))
+		if err != nil {
+			return AgingResult{}, err
+		}
+		dirs[i] = d
+	}
+
+	// Churn: create files carrying fragmented layout mappings (forcing
+	// spill-block allocations) and delete a random half, until the
+	// device reaches the target utilization.
+	type liveFile struct {
+		dir  int
+		name string
+	}
+	var live []liveFile
+	seq := 0
+	dirNames := make([]string, cfg.ChurnDirs)
+	for i := range dirNames {
+		dirNames[i] = fmt.Sprintf("churn%d", i)
+	}
+	for fs.Utilization() < cfg.TargetUtilization {
+		// Churn leans toward creation so utilization converges; the
+		// deletions and directory retirements leave the holes.
+		switch {
+		case len(live) > 0 && rng.Intn(100) < 38:
+			i := rng.Intn(len(live))
+			f := live[i]
+			if err := srv.Unlink(dirs[f.dir], f.name); err != nil {
+				return AgingResult{}, err
+			}
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			continue
+		case seq > 0 && seq%8000 == 0:
+			// Retire one churn directory entirely and recreate it:
+			// its freed content runs become mid-sized holes.
+			di := rng.Intn(cfg.ChurnDirs)
+			kept := live[:0]
+			for _, f := range live {
+				if f.dir != di {
+					kept = append(kept, f)
+					continue
+				}
+				if err := srv.Unlink(dirs[di], f.name); err != nil {
+					return AgingResult{}, err
+				}
+			}
+			live = kept
+			if err := srv.Rmdir(srv.Root(), dirNames[di]); err != nil {
+				return AgingResult{}, err
+			}
+			dirNames[di] = fmt.Sprintf("churn%d.%d", di, seq)
+			d, err := srv.Mkdir(srv.Root(), dirNames[di])
+			if err != nil {
+				return AgingResult{}, err
+			}
+			dirs[di] = d
+		}
+		d := rng.Intn(cfg.ChurnDirs)
+		name := fmt.Sprintf("c%07d", seq)
+		seq++
+		ino, err := srv.Create(dirs[d], name)
+		if err != nil {
+			return AgingResult{}, err
+		}
+		// A fragmented mapping large enough to occupy both spill
+		// blocks, so churn moves real space.
+		exts := make([]extent.Extent, 140+rng.Intn(110))
+		for j := range exts {
+			exts[j] = extent.Extent{Logical: int64(j) * 4, Physical: int64(seq*512 + j*8), Count: 2}
+		}
+		if err := srv.SetLayout(ino, exts); err != nil {
+			return AgingResult{}, err
+		}
+		live = append(live, liveFile{dir: d, name: name})
+		if seq > 1<<20 {
+			return AgingResult{}, fmt.Errorf("workload: churn did not converge to %g (at %g)",
+				cfg.TargetUtilization, fs.Utilization())
+		}
+	}
+	if err := fs.Sync(); err != nil {
+		return AgingResult{}, err
+	}
+	fs.Store().DropCaches()
+
+	// Measurement: create MeasureFiles fresh files (same mapping
+	// distribution), then delete them.
+	mdir, err := srv.Mkdir(srv.Root(), "measure")
+	if err != nil {
+		return AgingResult{}, err
+	}
+	before := fs.Store().Disk().Stats()
+	for i := 0; i < cfg.MeasureFiles; i++ {
+		if _, err := srv.Create(mdir, fmt.Sprintf("m%05d", i)); err != nil {
+			return AgingResult{}, err
+		}
+	}
+	if err := fs.Sync(); err != nil {
+		return AgingResult{}, err
+	}
+	createDelta := fs.Store().Disk().Stats().Sub(before)
+	createNs := createDelta.BusyNs
+
+	before = fs.Store().Disk().Stats()
+	for i := 0; i < cfg.MeasureFiles; i++ {
+		if err := srv.Unlink(mdir, fmt.Sprintf("m%05d", i)); err != nil {
+			return AgingResult{}, err
+		}
+	}
+	if err := fs.Sync(); err != nil {
+		return AgingResult{}, err
+	}
+	deleteDelta := fs.Store().Disk().Stats().Sub(before)
+	deleteNs := deleteDelta.BusyNs
+
+	res := AgingResult{
+		Config:             metaratesName(MetaratesConfig{Layout: cfg.Layout, Htree: cfg.Htree}),
+		Utilization:        fs.Utilization(),
+		CreateRequests:     createDelta.Requests,
+		DeleteRequests:     deleteDelta.Requests,
+		CreatePositionings: createDelta.Positionings,
+		DeletePositionings: deleteDelta.Positionings,
+	}
+	if createNs > 0 {
+		res.CreatePerSec = float64(cfg.MeasureFiles) / sim.Seconds(createNs)
+	}
+	if deleteNs > 0 {
+		res.DeletePerSec = float64(cfg.MeasureFiles) / sim.Seconds(deleteNs)
+	}
+	return res, nil
+}

@@ -1,0 +1,35 @@
+package workload
+
+import "redbud/internal/sim"
+
+// jitteredArrival drives ranks through their per-rank request sequences in
+// a randomized global arrival order: at each step one unfinished rank,
+// chosen uniformly, issues its next request.
+//
+// Lockstep round-robin would be wrong here: it replays the exact global
+// ordering of the write phase, which lets the device queue re-merge a
+// fragmented layout into sequential sweeps — something a real cluster's
+// rank skew never permits. Random arrival models that skew while staying
+// deterministic under the seed.
+func jitteredArrival(rng *sim.Rand, ranks int, requests func(rank int) int64, issue func(rank int, idx int64) error) error {
+	next := make([]int64, ranks)
+	var unfinished []int
+	for r := 0; r < ranks; r++ {
+		if requests(r) > 0 {
+			unfinished = append(unfinished, r)
+		}
+	}
+	for len(unfinished) > 0 {
+		i := rng.Intn(len(unfinished))
+		r := unfinished[i]
+		if err := issue(r, next[r]); err != nil {
+			return err
+		}
+		next[r]++
+		if next[r] >= requests(r) {
+			unfinished[i] = unfinished[len(unfinished)-1]
+			unfinished = unfinished[:len(unfinished)-1]
+		}
+	}
+	return nil
+}

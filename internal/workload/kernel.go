@@ -1,0 +1,184 @@
+package workload
+
+import (
+	"fmt"
+
+	"redbud/internal/core"
+	"redbud/internal/inode"
+	"redbud/internal/pfs"
+	"redbud/internal/sim"
+)
+
+// KernelTreeConfig parameterizes the application mix of Figure 10: "the
+// three applications all use files (or tar.gz) of linux kernel code" —
+// tar (unpack the tree), make (compile: read every source, emit objects,
+// burn CPU), and make clean (delete the objects).
+type KernelTreeConfig struct {
+	// Dirs is the number of source directories.
+	Dirs int
+	// FilesPerDir is the source-file count per directory.
+	FilesPerDir int
+	// MeanFileBlocks shapes the file-size distribution (kernel sources
+	// are small: a few KiB to tens of KiB).
+	MeanFileBlocks int64
+	// ObjectRatioPct is the percentage of sources that produce an
+	// object file during make.
+	ObjectRatioPct int
+	// CompileNsPerFile is the modeled CPU cost of compiling one file —
+	// what makes make "CPU-intensive" and its I/O gain small.
+	CompileNsPerFile sim.Ns
+	// Seed drives the size distribution.
+	Seed uint64
+}
+
+// DefaultKernelTreeConfig returns a scaled-down kernel tree.
+func DefaultKernelTreeConfig() KernelTreeConfig {
+	return KernelTreeConfig{
+		Dirs:             40,
+		FilesPerDir:      60,
+		MeanFileBlocks:   3,
+		ObjectRatioPct:   60,
+		CompileNsPerFile: 40 * sim.Millisecond,
+		Seed:             23,
+	}
+}
+
+// KernelTreeResult reports the three application phases.
+type KernelTreeResult struct {
+	Config    string
+	Tar       AppResult
+	Make      AppResult
+	MakeClean AppResult
+}
+
+// RunKernelTree executes tar, make, and make clean against a fresh mount.
+func RunKernelTree(fsCfg pfs.Config, cfg KernelTreeConfig) (KernelTreeResult, error) {
+	if cfg.Dirs <= 0 || cfg.FilesPerDir <= 0 || cfg.MeanFileBlocks <= 0 {
+		return KernelTreeResult{}, fmt.Errorf("workload: bad kernel-tree config %+v", cfg)
+	}
+	fsCfg.MDS.FS.SyncWrites = true
+	fs, err := pfs.New(fsCfg)
+	if err != nil {
+		return KernelTreeResult{}, err
+	}
+	rng := sim.NewRand(cfg.Seed)
+	out := KernelTreeResult{Config: fsCfg.Name}
+	stream := core.StreamID{Client: 1, PID: 1}
+
+	size := func() int64 {
+		// Skewed small-file distribution around the mean.
+		n := 1 + rng.Int63n(cfg.MeanFileBlocks*2)
+		if rng.Intn(20) == 0 {
+			n *= 8 // occasional large file
+		}
+		return n
+	}
+
+	type src struct {
+		dir  inode.Ino
+		name string
+		size int64
+	}
+	var sources []src
+
+	// tar: unpack the tree — directory creates plus sequential small
+	// file writes.
+	prevBusy := elapsedOf(fs, 0)
+	var ops int64
+	for d := 0; d < cfg.Dirs; d++ {
+		dir, err := fs.Mkdir(fs.Root(), fmt.Sprintf("drivers%03d", d))
+		if err != nil {
+			return out, err
+		}
+		for i := 0; i < cfg.FilesPerDir; i++ {
+			name := fmt.Sprintf("src%04d.c", i)
+			n := size()
+			f, err := fs.Create(dir, name, n)
+			if err != nil {
+				return out, err
+			}
+			if err := f.Write(stream, 0, n); err != nil {
+				return out, err
+			}
+			if err := f.Close(); err != nil {
+				return out, err
+			}
+			sources = append(sources, src{dir: dir, name: name, size: n})
+			ops++
+		}
+	}
+	if err := fs.Sync(); err != nil {
+		return out, err
+	}
+	out.Tar = AppResult{Config: fsCfg.Name, App: "tar", Ops: ops, Elapsed: elapsedOf(fs, 0) - prevBusy}
+
+	// make: stat + read every source (the compiler's includes), emit an
+	// object file for a fraction, and burn compile CPU.
+	fs.MDS().FS().Store().DropCaches()
+	prevBusy = elapsedOf(fs, 0)
+	ops = 0
+	var compute sim.Ns
+	for _, s := range sources {
+		if _, err := fs.MDS().StatName(s.dir, s.name); err != nil {
+			return out, err
+		}
+		h, err := fs.Open(s.dir, s.name)
+		if err != nil {
+			return out, err
+		}
+		if err := h.Read(0, s.size); err != nil {
+			return out, err
+		}
+		if err := h.Close(); err != nil {
+			return out, err
+		}
+		ops++
+		if rng.Intn(100) < cfg.ObjectRatioPct {
+			compute += cfg.CompileNsPerFile
+			obj := s.name[:len(s.name)-2] + ".o"
+			n := s.size / 2
+			if n < 1 {
+				n = 1
+			}
+			f, err := fs.Create(s.dir, obj, n)
+			if err != nil {
+				return out, err
+			}
+			if err := f.Write(stream, 0, n); err != nil {
+				return out, err
+			}
+			if err := f.Close(); err != nil {
+				return out, err
+			}
+			ops++
+		}
+	}
+	if err := fs.Sync(); err != nil {
+		return out, err
+	}
+	out.Make = AppResult{Config: fsCfg.Name, App: "make", Ops: ops, Elapsed: elapsedOf(fs, compute) - prevBusy}
+
+	// make clean: readdir every directory, delete the objects.
+	fs.MDS().FS().Store().DropCaches()
+	prevBusy = elapsedOf(fs, compute)
+	ops = 0
+	seen := map[inode.Ino]bool{}
+	for _, s := range sources {
+		if !seen[s.dir] {
+			seen[s.dir] = true
+			if _, err := fs.MDS().ReaddirPlus(s.dir); err != nil {
+				return out, err
+			}
+			ops++
+		}
+		obj := s.name[:len(s.name)-2] + ".o"
+		if err := fs.Delete(s.dir, obj); err == nil {
+			ops++
+		}
+	}
+	if err := fs.Sync(); err != nil {
+		return out, err
+	}
+	out.MakeClean = AppResult{Config: fsCfg.Name, App: "make-clean", Ops: ops, Elapsed: elapsedOf(fs, compute) - prevBusy}
+	return out, nil
+}

@@ -1,0 +1,220 @@
+package workload
+
+import (
+	"testing"
+
+	"redbud/internal/mdfs"
+	"redbud/internal/pfs"
+)
+
+// smallMetarates keeps unit-test runtime reasonable; the full 5000-file
+// paper shape runs in the benchmark harness.
+func smallMetarates(layout mdfs.Layout) MetaratesConfig {
+	cfg := DefaultMetaratesConfig(layout)
+	cfg.Clients = 6
+	cfg.FilesPerDir = 700
+	return cfg
+}
+
+func TestMetaratesEmbeddedWins(t *testing.T) {
+	normal, err := RunMetarates(smallMetarates(mdfs.LayoutNormal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	embedded, err := RunMetarates(smallMetarates(mdfs.LayoutEmbedded))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 8: embedded cuts disk accesses and raises throughput for
+	// create, delete, and readdir-stat.
+	if embedded.Create.OpsPerSec <= normal.Create.OpsPerSec {
+		t.Errorf("create: embedded %.0f ops/s should beat normal %.0f",
+			embedded.Create.OpsPerSec, normal.Create.OpsPerSec)
+	}
+	if embedded.Delete.OpsPerSec <= normal.Delete.OpsPerSec {
+		t.Errorf("delete: embedded %.0f ops/s should beat normal %.0f",
+			embedded.Delete.OpsPerSec, normal.Delete.OpsPerSec)
+	}
+	if embedded.Readdir.DiskRequests*10 > normal.Readdir.DiskRequests {
+		t.Errorf("readdir-stat: embedded %d requests should be <= 1/10 of normal %d",
+			embedded.Readdir.DiskRequests, normal.Readdir.DiskRequests)
+	}
+	if embedded.Create.DiskRequests >= normal.Create.DiskRequests {
+		t.Errorf("create: embedded %d requests should be below normal %d",
+			embedded.Create.DiskRequests, normal.Create.DiskRequests)
+	}
+	t.Logf("create %+.0f%%, utime %+.0f%%, readdir %+.0f%%, delete %+.0f%%",
+		100*(embedded.Create.OpsPerSec/normal.Create.OpsPerSec-1),
+		100*(embedded.Utime.OpsPerSec/normal.Utime.OpsPerSec-1),
+		100*(embedded.Readdir.OpsPerSec/normal.Readdir.OpsPerSec-1),
+		100*(embedded.Delete.OpsPerSec/normal.Delete.OpsPerSec-1))
+}
+
+func TestMetaratesLustreCloseToNormal(t *testing.T) {
+	// The paper: "the performance of the original Redbud version is
+	// quite close to that of the Lustre in all of the workloads."
+	cfg := smallMetarates(mdfs.LayoutNormal)
+	normal, err := RunMetarates(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Htree = true
+	lustre, err := RunMetarates(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := lustre.Create.OpsPerSec / normal.Create.OpsPerSec
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Fatalf("lustre-like create %.0f ops/s vs normal %.0f: want within 25%%",
+			lustre.Create.OpsPerSec, normal.Create.OpsPerSec)
+	}
+}
+
+func TestMetaratesReaddirGapGrowsWithDirSize(t *testing.T) {
+	// Figure 8(c): "the decreased disk access proportion increases as
+	// the directory size increases."
+	proportion := func(files int) float64 {
+		cfg := smallMetarates(mdfs.LayoutNormal)
+		cfg.Clients = 4
+		cfg.FilesPerDir = files
+		normal, err := RunMetarates(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ecfg := cfg
+		ecfg.Layout = mdfs.LayoutEmbedded
+		embedded, err := RunMetarates(ecfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(embedded.Readdir.DiskRequests) / float64(normal.Readdir.DiskRequests)
+	}
+	small := proportion(300)
+	large := proportion(1500)
+	if large >= small {
+		t.Fatalf("readdir-stat request proportion should shrink with directory size: %g -> %g", small, large)
+	}
+}
+
+func TestAgingShapes(t *testing.T) {
+	// Figure 9: aging hurts embedded creation, deletion is not severely
+	// compromised, and embedded stays above the traditional layout.
+	fresh, err := RunAging(DefaultAgingConfig(mdfs.LayoutEmbedded, 0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	aged, err := RunAging(DefaultAgingConfig(mdfs.LayoutEmbedded, 0.8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	normalAged, err := RunAging(DefaultAgingConfig(mdfs.LayoutNormal, 0.8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper reports a 43% creation drop at 80% capacity; in this
+	// reproduction the per-op journal commits dominate the create cost,
+	// so the drop is directionally present but shallow (see
+	// EXPERIMENTS.md). The robust assertions: aging must not *improve*
+	// creation, and deletion must not be severely compromised.
+	if aged.CreatePerSec > fresh.CreatePerSec*1.05 {
+		t.Errorf("aging should not improve embedded create throughput: %.0f -> %.0f",
+			fresh.CreatePerSec, aged.CreatePerSec)
+	}
+	createDrop := 1 - aged.CreatePerSec/fresh.CreatePerSec
+	deleteDrop := 1 - aged.DeletePerSec/fresh.DeletePerSec
+	if deleteDrop > 0.20 {
+		t.Errorf("deletion should not be severely compromised by aging: %.0f%% drop", 100*deleteDrop)
+	}
+	if aged.CreatePerSec < normalAged.CreatePerSec*1.1 {
+		t.Errorf("aged embedded create %.0f should stay well above traditional %.0f",
+			aged.CreatePerSec, normalAged.CreatePerSec)
+	}
+	t.Logf("embedded create %.0f -> %.0f (-%.0f%%), delete %.0f -> %.0f (-%.0f%%); normal aged create %.0f",
+		fresh.CreatePerSec, aged.CreatePerSec, 100*createDrop,
+		fresh.DeletePerSec, aged.DeletePerSec, 100*deleteDrop, normalAged.CreatePerSec)
+}
+
+func TestSyncPressureShapes(t *testing.T) {
+	// §2's positioning of the techniques: delayed allocation wins with
+	// no syncs, collapses under per-request fsync; on-demand placement
+	// is sync-invariant.
+	delayed := func(every int64) (int, float64) {
+		cfg := pfs.MiF(5).WithPolicy(pfs.PolicyVanilla)
+		cfg.OST.DelayedAllocation = true
+		e, m, err := RunSyncPressure(cfg, every)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e, m
+	}
+	onDemand := func(every int64) (int, float64) {
+		e, m, err := RunSyncPressure(pfs.MiF(5), every)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e, m
+	}
+	dRelaxedExt, _ := delayed(0)
+	dSyncExt, dSyncMB := delayed(4)
+	oRelaxedExt, _ := onDemand(0)
+	oSyncExt, oSyncMB := onDemand(4)
+	if dRelaxedExt > 8 {
+		t.Errorf("unsynced delayed allocation should be near-contiguous, got %d extents", dRelaxedExt)
+	}
+	if dSyncExt < dRelaxedExt*16 {
+		t.Errorf("sync pressure should fragment delayed allocation: %d -> %d extents", dRelaxedExt, dSyncExt)
+	}
+	if oSyncExt != oRelaxedExt {
+		t.Errorf("on-demand extents must be sync-invariant: %d vs %d", oRelaxedExt, oSyncExt)
+	}
+	if oSyncMB <= dSyncMB {
+		t.Errorf("under sync pressure on-demand (%.1f MB/s) should beat delayed allocation (%.1f MB/s)",
+			oSyncMB, dSyncMB)
+	}
+}
+
+func TestPostMarkAndAppsFavorMiF(t *testing.T) {
+	pmCfg := DefaultPostMarkConfig()
+	pmCfg.Clients = 4
+	pmCfg.FilesPerClient = 60
+	pmCfg.TransactionsPerClient = 200
+	redbud, err := RunPostMark(pfs.RedbudOrig(4), pmCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mif, err := RunPostMark(pfs.MiF(4), pmCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mif.Elapsed >= redbud.Elapsed {
+		t.Errorf("PostMark: MiF %d ns should beat Redbud %d ns", mif.Elapsed, redbud.Elapsed)
+	}
+
+	ktCfg := DefaultKernelTreeConfig()
+	ktCfg.Dirs = 12
+	ktCfg.FilesPerDir = 30
+	ktRedbud, err := RunKernelTree(pfs.RedbudOrig(4), ktCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ktMif, err := RunKernelTree(pfs.MiF(4), ktCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ktMif.MakeClean.Elapsed >= ktRedbud.MakeClean.Elapsed {
+		t.Errorf("make-clean: MiF %d should beat Redbud %d", ktMif.MakeClean.Elapsed, ktRedbud.MakeClean.Elapsed)
+	}
+	// make is CPU-bound: its relative gain must be the smallest of the
+	// three phases.
+	gain := func(a, b AppResult) float64 { return 1 - float64(a.Elapsed)/float64(b.Elapsed) }
+	makeGain := gain(ktMif.Make, ktRedbud.Make)
+	cleanGain := gain(ktMif.MakeClean, ktRedbud.MakeClean)
+	if makeGain > cleanGain {
+		t.Errorf("make gain (%.1f%%) should be below make-clean gain (%.1f%%)", 100*makeGain, 100*cleanGain)
+	}
+	t.Logf("PostMark: %.2fs -> %.2fs; tar %.2fs -> %.2fs; make %.2fs -> %.2fs; clean %.2fs -> %.2fs",
+		float64(redbud.Elapsed)/1e9, float64(mif.Elapsed)/1e9,
+		float64(ktRedbud.Tar.Elapsed)/1e9, float64(ktMif.Tar.Elapsed)/1e9,
+		float64(ktRedbud.Make.Elapsed)/1e9, float64(ktMif.Make.Elapsed)/1e9,
+		float64(ktRedbud.MakeClean.Elapsed)/1e9, float64(ktMif.MakeClean.Elapsed)/1e9)
+}

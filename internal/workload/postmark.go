@@ -1,0 +1,180 @@
+package workload
+
+import (
+	"fmt"
+
+	"redbud/internal/core"
+	"redbud/internal/inode"
+	"redbud/internal/pfs"
+	"redbud/internal/sim"
+)
+
+// PostMarkConfig parameterizes the PostMark benchmark (Figure 10):
+// many small files churned by create/delete/read/append transactions.
+// The paper configures "files-counts=100K, transaction-counts=500K and
+// transaction-size is equal to file size" across 10 clients; the defaults
+// here scale that down while keeping the per-client shape, and the counts
+// are flags on cmd/mifbench for full-size runs.
+type PostMarkConfig struct {
+	// Clients each work in their own directory.
+	Clients int
+	// FilesPerClient is the initial file-set size per client.
+	FilesPerClient int
+	// TransactionsPerClient is the transaction count per client.
+	TransactionsPerClient int
+	// MinFileBlocks/MaxFileBlocks bound the file size distribution.
+	MinFileBlocks int64
+	MaxFileBlocks int64
+	// Seed drives the transaction mix.
+	Seed uint64
+}
+
+// DefaultPostMarkConfig returns a laptop-scale PostMark.
+func DefaultPostMarkConfig() PostMarkConfig {
+	return PostMarkConfig{
+		Clients:               10,
+		FilesPerClient:        100,
+		TransactionsPerClient: 500,
+		MinFileBlocks:         1,
+		MaxFileBlocks:         8,
+		Seed:                  11,
+	}
+}
+
+// AppResult reports one application-style run (PostMark, tar, make,
+// make-clean): its total simulated execution time.
+type AppResult struct {
+	Config  string
+	App     string
+	Ops     int64
+	Elapsed sim.Ns
+}
+
+// elapsedOf folds the serially-dependent components of an application run:
+// the MDS disk, the parallel data disks, and modeled client compute.
+func elapsedOf(fs *pfs.FS, compute sim.Ns) sim.Ns {
+	return fs.MDS().FS().Store().Disk().Stats().BusyNs + fs.DataBusyMax() + compute
+}
+
+// RunPostMark executes PostMark against a fresh mount.
+func RunPostMark(fsCfg pfs.Config, cfg PostMarkConfig) (AppResult, error) {
+	if cfg.Clients <= 0 || cfg.FilesPerClient <= 0 {
+		return AppResult{}, fmt.Errorf("workload: bad postmark config %+v", cfg)
+	}
+	fsCfg.MDS.FS.SyncWrites = true
+	fs, err := pfs.New(fsCfg)
+	if err != nil {
+		return AppResult{}, err
+	}
+	rng := sim.NewRand(cfg.Seed)
+
+	type pmFile struct {
+		name string
+		size int64
+	}
+	dirs := make([]inode.Ino, cfg.Clients)
+	files := make([][]pmFile, cfg.Clients)
+	for c := range dirs {
+		d, err := fs.Mkdir(fs.Root(), fmt.Sprintf("pm%02d", c))
+		if err != nil {
+			return AppResult{}, err
+		}
+		dirs[c] = d
+	}
+	fileSize := func() int64 {
+		span := cfg.MaxFileBlocks - cfg.MinFileBlocks + 1
+		return cfg.MinFileBlocks + rng.Int63n(span)
+	}
+	seq := 0
+	createFile := func(c int) error {
+		name := fmt.Sprintf("pm%07d", seq)
+		seq++
+		size := fileSize()
+		f, err := fs.Create(dirs[c], name, size)
+		if err != nil {
+			return err
+		}
+		stream := core.StreamID{Client: uint32(c), PID: 1}
+		if err := f.Write(stream, 0, size); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		files[c] = append(files[c], pmFile{name: name, size: size})
+		return nil
+	}
+
+	var ops int64
+	// Initial file set.
+	for c := 0; c < cfg.Clients; c++ {
+		for i := 0; i < cfg.FilesPerClient; i++ {
+			if err := createFile(c); err != nil {
+				return AppResult{}, err
+			}
+			ops++
+		}
+	}
+	// Transactions: half read-or-append, half create-or-delete, the
+	// PostMark mix, interleaved across clients.
+	err = jitteredArrival(rng.Fork(), cfg.Clients,
+		func(int) int64 { return int64(cfg.TransactionsPerClient) },
+		func(c int, _ int64) error {
+			ops++
+			switch rng.Intn(4) {
+			case 0: // create
+				return createFile(c)
+			case 1: // delete
+				if len(files[c]) == 0 {
+					return createFile(c)
+				}
+				i := rng.Intn(len(files[c]))
+				name := files[c][i].name
+				files[c][i] = files[c][len(files[c])-1]
+				files[c] = files[c][:len(files[c])-1]
+				return fs.Delete(dirs[c], name)
+			case 2: // read whole file (transaction size = file size)
+				if len(files[c]) == 0 {
+					return createFile(c)
+				}
+				pf := files[c][rng.Intn(len(files[c]))]
+				h, err := fs.Open(dirs[c], pf.name)
+				if err != nil {
+					return err
+				}
+				if err := h.Read(0, pf.size); err != nil {
+					return err
+				}
+				return h.Close()
+			default: // append one file-size worth of data
+				if len(files[c]) == 0 {
+					return createFile(c)
+				}
+				i := rng.Intn(len(files[c]))
+				pf := &files[c][i]
+				h, err := fs.Open(dirs[c], pf.name)
+				if err != nil {
+					return err
+				}
+				stream := core.StreamID{Client: uint32(c), PID: 1}
+				appendBlocks := fileSize()
+				if err := h.Write(stream, pf.size, appendBlocks); err != nil {
+					return err
+				}
+				pf.size += appendBlocks
+				return h.Close()
+			}
+		})
+	if err != nil {
+		return AppResult{}, err
+	}
+	if err := fs.Sync(); err != nil {
+		return AppResult{}, err
+	}
+	return AppResult{
+		Config:  fsCfg.Name,
+		App:     "PostMark",
+		Ops:     ops,
+		Elapsed: elapsedOf(fs, 0),
+	}, nil
+}
