@@ -1,0 +1,26 @@
+# Developer entry points. `make ci` is the full gate: formatting, vet,
+# build, and the test suite under the race detector.
+
+GO ?= go
+
+.PHONY: ci fmt vet build test race
+
+ci: fmt vet build race
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...

@@ -14,7 +14,7 @@ import (
 func fig6FS(policy pfs.PolicyKind) pfs.Config {
 	cfg := pfs.MiF(5).WithPolicy(policy)
 	cfg.ReservationWindow = 2048
-	return cfg
+	return instrumented(cfg)
 }
 
 // fig7FS builds the macro-benchmark mount: 8 data disks ("all data are
@@ -22,7 +22,7 @@ func fig6FS(policy pfs.PolicyKind) pfs.Config {
 func fig7FS(policy pfs.PolicyKind) pfs.Config {
 	cfg := pfs.MiF(8).WithPolicy(policy)
 	cfg.ReservationWindow = 2048
-	return cfg
+	return instrumented(cfg)
 }
 
 // runFig6a regenerates Figure 6(a): phase-2 throughput of the shared-file
@@ -257,21 +257,21 @@ func runFig10(scale float64) error {
 	}
 	var rows []row
 
-	pmN, err := workload.RunPostMark(pfs.RedbudOrig(4), pm)
+	pmN, err := workload.RunPostMark(instrumented(pfs.RedbudOrig(4)), pm)
 	if err != nil {
 		return err
 	}
-	pmM, err := workload.RunPostMark(pfs.MiF(4), pm)
+	pmM, err := workload.RunPostMark(instrumented(pfs.MiF(4)), pm)
 	if err != nil {
 		return err
 	}
 	rows = append(rows, row{"PostMark", pmN.Elapsed, pmM.Elapsed})
 
-	ktN, err := workload.RunKernelTree(pfs.RedbudOrig(4), kt)
+	ktN, err := workload.RunKernelTree(instrumented(pfs.RedbudOrig(4)), kt)
 	if err != nil {
 		return err
 	}
-	ktM, err := workload.RunKernelTree(pfs.MiF(4), kt)
+	ktM, err := workload.RunKernelTree(instrumented(pfs.MiF(4)), kt)
 	if err != nil {
 		return err
 	}

@@ -16,13 +16,50 @@
 //	fig10    PostMark and applications (Figure 10)
 //	ablation design-choice sweeps beyond the paper
 //	all      everything above in order
+//
+// With -telemetry <file>, every data-path mount is instrumented into a
+// shared metrics registry and a per-phase snapshot (one entry per
+// experiment) is written as JSON next to the printed results. With
+// -trace <file>, request spans across the full IO path (pfs → mds/ost →
+// iosched → disk) are recorded on the simulated timeline and written as
+// Chrome trace_event JSON, with a "phase" marker at each experiment
+// boundary; open it in chrome://tracing or Perfetto.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+
+	"redbud/internal/pfs"
+	"redbud/internal/telemetry"
 )
+
+// benchReg and benchTracer, when non-nil, are attached to every mount the
+// experiments build (via instrumented); phaseSnaps accumulates one registry
+// snapshot per completed experiment.
+var (
+	benchReg    *telemetry.Registry
+	benchTracer *telemetry.Tracer
+	phaseSnaps  []phaseSnapshot
+)
+
+// phaseSnapshot is the per-experiment telemetry record written by
+// -telemetry: the registry state after the named phase completed.
+type phaseSnapshot struct {
+	Phase   string                     `json:"phase"`
+	Metrics []telemetry.MetricSnapshot `json:"metrics"`
+}
+
+// instrumented applies the session-wide telemetry attachments to one mount
+// configuration. With neither flag set it is the identity.
+func instrumented(cfg pfs.Config) pfs.Config {
+	cfg.Metrics = benchReg
+	cfg.Trace = benchTracer
+	return cfg
+}
 
 func main() {
 	flag.Usage = func() {
@@ -30,10 +67,18 @@ func main() {
 		flag.PrintDefaults()
 	}
 	scale := flag.Float64("scale", 1.0, "workload scale factor (file sizes, file counts)")
+	telemetryOut := flag.String("telemetry", "", "write per-phase metrics-registry snapshots (JSON) to this file")
+	traceOut := flag.String("trace", "", "record request spans and write Chrome trace_event JSON to this file")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *telemetryOut != "" {
+		benchReg = telemetry.NewRegistry()
+	}
+	if *traceOut != "" {
+		benchTracer = telemetry.NewTracer(nil)
 	}
 	exp := flag.Arg(0)
 	runners := map[string]func(float64) error{
@@ -47,22 +92,57 @@ func main() {
 		"ablation": runAblation,
 	}
 	var order = []string{"fig6a", "fig6b", "fig7", "table1", "fig8", "fig9", "fig10", "ablation"}
-	if exp == "all" {
-		for _, name := range order {
-			if err := runners[name](*scale); err != nil {
-				fmt.Fprintf(os.Stderr, "mifbench %s: %v\n", name, err)
-				os.Exit(1)
-			}
+	if exp != "all" {
+		if _, ok := runners[exp]; !ok {
+			flag.Usage()
+			os.Exit(2)
 		}
-		return
+		order = []string{exp}
 	}
-	run, ok := runners[exp]
-	if !ok {
-		flag.Usage()
-		os.Exit(2)
+	for _, name := range order {
+		if err := runPhase(name, runners[name], *scale); err != nil {
+			fmt.Fprintf(os.Stderr, "mifbench %s: %v\n", name, err)
+			os.Exit(1)
+		}
 	}
-	if err := run(*scale); err != nil {
-		fmt.Fprintf(os.Stderr, "mifbench %s: %v\n", exp, err)
+	if *telemetryOut != "" {
+		writeOutput(*telemetryOut, func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(phaseSnaps)
+		})
+	}
+	if *traceOut != "" {
+		writeOutput(*traceOut, benchTracer.WriteChromeTrace)
+	}
+}
+
+// runPhase runs one experiment, bracketed by a phase marker on the trace
+// timeline and followed by a registry snapshot.
+func runPhase(name string, fn func(float64) error, scale float64) error {
+	benchTracer.Mark("phase", name)
+	if err := fn(scale); err != nil {
+		return err
+	}
+	if benchReg != nil {
+		phaseSnaps = append(phaseSnaps, phaseSnapshot{Phase: name, Metrics: benchReg.Snapshot()})
+	}
+	return nil
+}
+
+// writeOutput writes one exporter's output to path, exiting on failure.
+func writeOutput(path string, write func(w io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mifbench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := write(f); err != nil {
+		fmt.Fprintf(os.Stderr, "mifbench: write %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "mifbench: close %s: %v\n", path, err)
 		os.Exit(1)
 	}
 }

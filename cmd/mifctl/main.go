@@ -17,6 +17,13 @@
 //	ls <path>
 //	layout <path>
 //	report
+//	stats
+//
+// Every mount is instrumented into a telemetry registry; `stats` dumps the
+// live registry (counters, gauges, per-layer latency histograms) as aligned
+// tables. With -trace <file>, the whole session is additionally recorded as
+// spans on the simulated timeline and written as Chrome trace_event JSON,
+// openable in chrome://tracing or Perfetto.
 //
 // Example:
 //
@@ -24,7 +31,8 @@
 //	write /a.dat 1.1 0 64
 //	write /a.dat 2.1 1024 64
 //	layout /a.dat
-//	report' | mifctl -policy on-demand -
+//	report
+//	stats' | mifctl -policy on-demand -trace trace.json -
 package main
 
 import (
@@ -41,12 +49,14 @@ import (
 	"redbud/internal/inode"
 	"redbud/internal/pfs"
 	"redbud/internal/sim"
+	"redbud/internal/telemetry"
 )
 
 func main() {
 	policy := flag.String("policy", "on-demand", "placement policy: vanilla|reservation|on-demand|static")
 	layout := flag.String("layout", "embedded", "directory layout: normal|embedded")
 	osts := flag.Int("osts", 4, "number of IO servers")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the session to this file")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: mifctl [flags] <script|->")
@@ -72,6 +82,14 @@ func main() {
 	}
 	cfg.Name = fmt.Sprintf("%s/%s", *policy, *layout)
 
+	reg := telemetry.NewRegistry()
+	cfg.Metrics = reg
+	var tr *telemetry.Tracer
+	if *traceOut != "" {
+		tr = telemetry.NewTracer(nil)
+		cfg.Trace = tr
+	}
+
 	fs, err := pfs.New(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -88,14 +106,27 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	if err := run(fs, in, os.Stdout); err != nil {
+	if err := run(fs, reg, in, os.Stdout); err != nil {
 		log.Fatal(err)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tr.WriteChromeTrace(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
 	}
 }
 
 // session tracks open handles by path.
 type session struct {
 	fs    *pfs.FS
+	reg   *telemetry.Registry
 	files map[string]*pfs.File
 }
 
@@ -114,8 +145,8 @@ func (s *session) resolveDir(path string) (inode.Ino, string, error) {
 }
 
 // run executes the op script.
-func run(fs *pfs.FS, in io.Reader, out io.Writer) error {
-	s := &session{fs: fs, files: make(map[string]*pfs.File)}
+func run(fs *pfs.FS, reg *telemetry.Registry, in io.Reader, out io.Writer) error {
+	s := &session{fs: fs, reg: reg, files: make(map[string]*pfs.File)}
 	sc := bufio.NewScanner(in)
 	line := 0
 	for sc.Scan() {
@@ -238,6 +269,8 @@ func (s *session) exec(out io.Writer, f []string) error {
 		fmt.Fprintf(out, "mds:  %d RPCs, %d extent ops, cpu %.2f ms\n",
 			m.RPCs, m.ExtentOps, sim.Seconds(m.CPUNs)*1e3)
 		return nil
+	case "stats":
+		return s.reg.WriteText(out)
 	default:
 		return fmt.Errorf("unknown op %q", f[0])
 	}

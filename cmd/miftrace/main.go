@@ -5,10 +5,17 @@
 // Usage:
 //
 //	miftrace gen -pattern shared|strided|random -streams N -region B > t.trace
-//	miftrace replay [-policy P] <t.trace|->
+//	miftrace replay [-policy P] [-spans s.json] [-telemetry m.json] <t.trace|->
+//	miftrace spans [-o chrome.json] <s.json|->
 //
 // The trace format is defined by internal/trace: one op per line,
 // `W <client>.<pid> <blk> <count>` or `R <blk> <count>`.
+//
+// With -spans, replay records every operation's per-layer spans on the
+// simulated timeline and writes them as a span-log JSON document; with
+// -telemetry it writes the mount's metrics-registry snapshot as JSON. The
+// spans subcommand converts a recorded span log into Chrome trace_event
+// JSON for chrome://tracing or Perfetto.
 package main
 
 import (
@@ -20,12 +27,13 @@ import (
 
 	"redbud/internal/pfs"
 	"redbud/internal/sim"
+	"redbud/internal/telemetry"
 	"redbud/internal/trace"
 )
 
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: miftrace {gen|replay} [flags]")
+		fmt.Fprintln(os.Stderr, "usage: miftrace {gen|replay|spans} [flags]")
 		os.Exit(2)
 	}
 	switch os.Args[1] {
@@ -33,6 +41,8 @@ func main() {
 		gen(os.Args[2:])
 	case "replay":
 		replay(os.Args[2:])
+	case "spans":
+		spans(os.Args[2:])
 	default:
 		fmt.Fprintf(os.Stderr, "miftrace: unknown subcommand %q\n", os.Args[1])
 		os.Exit(2)
@@ -70,6 +80,8 @@ func replay(args []string) {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
 	policy := fs.String("policy", "on-demand", "vanilla|reservation|on-demand|static")
 	osts := fs.Int("osts", 4, "IO server count")
+	spansOut := fs.String("spans", "", "record per-layer spans and write the span log (JSON) to this file")
+	telemetryOut := fs.String("telemetry", "", "write the metrics-registry snapshot (JSON) to this file")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		log.Fatal("usage: miftrace replay [flags] <trace|->")
@@ -97,7 +109,15 @@ func replay(args []string) {
 	if !ok {
 		log.Fatalf("unknown policy %q", *policy)
 	}
-	mount, err := pfs.New(pfs.MiF(*osts).WithPolicy(kind))
+	cfg := pfs.MiF(*osts).WithPolicy(kind)
+	reg := telemetry.NewRegistry()
+	cfg.Metrics = reg
+	var tr *telemetry.Tracer
+	if *spansOut != "" {
+		tr = telemetry.NewTracer(nil)
+		cfg.Trace = tr
+	}
+	mount, err := pfs.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -149,4 +169,54 @@ func replay(args []string) {
 		*policy, writes, reads, extents, st.Positionings)
 	fmt.Printf("write phase %.2f ms, read phase %.2f ms\n",
 		sim.Seconds(writeNs)*1e3, sim.Seconds(readNs)*1e3)
+	if *spansOut != "" {
+		writeFile(*spansOut, tr.WriteSpanLog)
+	}
+	if *telemetryOut != "" {
+		writeFile(*telemetryOut, reg.WriteJSON)
+	}
+}
+
+// writeFile writes one exporter's output to path.
+func writeFile(path string, write func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := write(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// spans converts a recorded span log into Chrome trace_event JSON.
+func spans(args []string) {
+	fs := flag.NewFlagSet("spans", flag.ExitOnError)
+	out := fs.String("o", "", "output file (default stdout)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		log.Fatal("usage: miftrace spans [-o chrome.json] <spans.json|->")
+	}
+	var in io.Reader = os.Stdin
+	if fs.Arg(0) != "-" {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	recorded, err := telemetry.ReadSpanLog(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *out == "" {
+		if err := telemetry.WriteChromeTrace(os.Stdout, recorded); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	writeFile(*out, func(w io.Writer) error { return telemetry.WriteChromeTrace(w, recorded) })
 }

@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"redbud/internal/sim"
+	"redbud/internal/telemetry"
 )
 
 // Config holds the physical parameters of a simulated disk. The zero value
@@ -135,6 +136,11 @@ type Disk struct {
 	stats   Stats
 
 	nsPerBlock sim.Ns
+
+	// serviceHist, when attached via Instrument, receives every Access
+	// service time. Kept nil on uninstrumented disks so the hot path pays
+	// one pointer test.
+	serviceHist *telemetry.Histogram
 }
 
 // New creates a disk with nblocks blocks. It panics on an invalid
@@ -182,6 +188,25 @@ func (d *Disk) ResetStats() {
 	d.stats = Stats{}
 }
 
+// Instrument publishes the disk's counters into the registry under the
+// given labels and attaches a service-time histogram observed on every
+// Access. The pre-existing Stats/ResetStats accessors keep working; the
+// registry's counter values track them (including resets, since collectors
+// read the live counters at snapshot time).
+func (d *Disk) Instrument(reg *telemetry.Registry, labels telemetry.Labels) {
+	d.mu.Lock()
+	d.serviceHist = reg.Histogram("disk_service_ns", labels)
+	d.mu.Unlock()
+	reg.CounterFunc("disk_requests", labels, func() int64 { return d.Stats().Requests })
+	reg.CounterFunc("disk_positionings", labels, func() int64 { return d.Stats().Positionings })
+	reg.CounterFunc("disk_near_switches", labels, func() int64 { return d.Stats().NearSwitches })
+	reg.CounterFunc("disk_seq_accesses", labels, func() int64 { return d.Stats().SeqAccesses })
+	reg.CounterFunc("disk_blocks_read", labels, func() int64 { return d.Stats().BlocksRead })
+	reg.CounterFunc("disk_blocks_written", labels, func() int64 { return d.Stats().BlocksWritten })
+	reg.CounterFunc("disk_seek_distance_blocks", labels, func() int64 { return d.Stats().SeekDistanceBlocks })
+	reg.CounterFunc("disk_busy_ns", labels, func() int64 { return d.Stats().BusyNs })
+}
+
 // Access services one request of count blocks starting at block start and
 // returns its simulated service time. write selects the transfer direction
 // for accounting only; the cost model is symmetric, matching the paper's
@@ -208,6 +233,9 @@ func (d *Disk) Access(start, count int64, write bool) sim.Ns {
 	}
 	d.stats.BusyNs += cost
 	d.head = start + count
+	if d.serviceHist != nil {
+		d.serviceHist.Observe(cost)
+	}
 	return cost
 }
 
@@ -247,5 +275,8 @@ func (d *Disk) SeekTo(start int64) sim.Ns {
 	cost := d.positionCostLocked(start)
 	d.stats.BusyNs += cost
 	d.head = start
+	if d.serviceHist != nil {
+		d.serviceHist.Observe(cost)
+	}
 	return cost
 }

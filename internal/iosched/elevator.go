@@ -11,10 +11,13 @@
 package iosched
 
 import (
+	"fmt"
 	"sort"
+	"sync"
 
 	"redbud/internal/disk"
 	"redbud/internal/sim"
+	"redbud/internal/telemetry"
 )
 
 // Request is one block-level I/O request as seen by the scheduler.
@@ -40,17 +43,35 @@ type Stats struct {
 	Merged int64
 }
 
+// Sub returns the field-wise difference s - o, isolating the counters of
+// one benchmark phase — the same delta idiom disk.Stats supports.
+func (s Stats) Sub(o Stats) Stats {
+	s.Submitted -= o.Submitted
+	s.Dispatched -= o.Dispatched
+	s.Merged -= o.Merged
+	return s
+}
+
 // Elevator sorts batches of outstanding requests by start block and merges
 // physically adjacent requests of the same direction before dispatching them
 // to a disk. The queue window bounds how many outstanding requests the
-// scheduler may reorder at once, like a real device queue.
+// scheduler may reorder at once, like a real device queue. All methods are
+// safe for concurrent use.
 type Elevator struct {
 	// QueueDepth is the reorder window. Requests are scheduled in
 	// consecutive windows of this many requests; a window of 1 disables
-	// reordering entirely. Zero or negative means unbounded.
+	// reordering entirely. Zero or negative means unbounded. QueueDepth is
+	// read at Schedule time; set it before submitting work.
 	QueueDepth int
 
+	mu    sync.Mutex
 	stats Stats
+
+	// batchHist, when attached, observes the submitted size of every
+	// scheduled batch. tracer, when attached, records dispatch and
+	// per-request disk spans.
+	batchHist *telemetry.Histogram
+	tracer    *telemetry.Tracer
 }
 
 // NewElevator returns an elevator with the given reorder window.
@@ -58,14 +79,53 @@ func NewElevator(queueDepth int) *Elevator {
 	return &Elevator{QueueDepth: queueDepth}
 }
 
-// Stats returns a snapshot of the scheduler counters.
-func (e *Elevator) Stats() Stats { return e.stats }
+// Stats returns a defensive snapshot of the scheduler counters, taken under
+// the elevator's lock — the same snapshot semantics as disk.Disk.Stats, so
+// per-phase deltas (snapshot, run, snapshot, Sub) work identically across
+// both layers.
+func (e *Elevator) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// ResetStats zeroes the scheduler counters for a new measurement phase,
+// mirroring disk.Disk.ResetStats.
+func (e *Elevator) ResetStats() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stats = Stats{}
+}
+
+// Instrument publishes the scheduler counters into the registry and
+// attaches a batch-size histogram observed on every Schedule call.
+func (e *Elevator) Instrument(reg *telemetry.Registry, labels telemetry.Labels) {
+	e.mu.Lock()
+	e.batchHist = reg.Histogram("iosched_batch_requests", labels)
+	e.mu.Unlock()
+	reg.CounterFunc("iosched_submitted", labels, func() int64 { return e.Stats().Submitted })
+	reg.CounterFunc("iosched_dispatched", labels, func() int64 { return e.Stats().Dispatched })
+	reg.CounterFunc("iosched_merged", labels, func() int64 { return e.Stats().Merged })
+}
+
+// SetTracer attaches (or with nil detaches) the span tracer used by
+// RunTraced.
+func (e *Elevator) SetTracer(t *telemetry.Tracer) {
+	e.mu.Lock()
+	e.tracer = t
+	e.mu.Unlock()
+}
 
 // Schedule returns the dispatch order for a batch of outstanding requests:
 // sorted by start block within each queue window, with physically adjacent
 // same-direction requests merged. The input slice is not modified.
 func (e *Elevator) Schedule(reqs []Request) []Request {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.stats.Submitted += int64(len(reqs))
+	if e.batchHist != nil {
+		e.batchHist.Observe(int64(len(reqs)))
+	}
 	if len(reqs) == 0 {
 		return nil
 	}
@@ -122,9 +182,53 @@ func appendMerged(out, window []Request, st *Stats, firstNew int) []Request {
 // returning the total simulated service time. It is the one-stop path used
 // by the IO servers: queue, sort, merge, dispatch.
 func (e *Elevator) Run(d *disk.Disk, reqs []Request) sim.Ns {
-	var total sim.Ns
-	for _, r := range e.Schedule(reqs) {
-		total += d.Access(r.Start, r.Count, r.Write)
+	return e.RunTraced(d, reqs, 0)
+}
+
+// RunTraced is Run with span recording: when a tracer is attached, the
+// whole dispatch becomes an "iosched" span under parent, each serviced
+// request a child "disk" span whose duration is its service time (the trace
+// clock advances by each request's cost), annotated with its placement and
+// flagged with a "positioning" event when the head had to move — the
+// block-layer interception the paper measures with, reproduced on the
+// simulated timeline. Without a tracer it is exactly Run.
+func (e *Elevator) RunTraced(d *disk.Disk, reqs []Request, parent telemetry.SpanID) sim.Ns {
+	e.mu.Lock()
+	t := e.tracer
+	e.mu.Unlock()
+	if t == nil {
+		var total sim.Ns
+		for _, r := range e.Schedule(reqs) {
+			total += d.Access(r.Start, r.Count, r.Write)
+		}
+		return total
 	}
+
+	sp := t.Start("iosched", "dispatch", parent)
+	before := e.Stats()
+	sched := e.Schedule(reqs)
+	delta := e.Stats().Sub(before)
+	sp.Annotate("submitted", fmt.Sprint(len(reqs)))
+	sp.Annotate("dispatched", fmt.Sprint(len(sched)))
+	sp.Annotate("merged", fmt.Sprint(delta.Merged))
+	var total sim.Ns
+	for _, r := range sched {
+		name := "read"
+		if r.Write {
+			name = "write"
+		}
+		ds := t.Start("disk", name, sp.ID())
+		pos := d.Stats().Positionings
+		cost := d.Access(r.Start, r.Count, r.Write)
+		t.Advance(cost)
+		if d.Stats().Positionings > pos {
+			ds.Event("positioning")
+		}
+		ds.Annotate("start", fmt.Sprint(r.Start))
+		ds.Annotate("blocks", fmt.Sprint(r.Count))
+		ds.End()
+		total += cost
+	}
+	sp.End()
 	return total
 }

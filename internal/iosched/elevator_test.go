@@ -134,3 +134,42 @@ func TestSchedulePreservesWorkProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestStatsSnapshotIsDefensive(t *testing.T) {
+	e := NewElevator(0)
+	e.Schedule([]Request{{Start: 0, Count: 4, Write: true}, {Start: 4, Count: 4, Write: true}})
+	snap := e.Stats()
+	if snap.Submitted != 2 || snap.Dispatched != 1 || snap.Merged != 1 {
+		t.Fatalf("stats = %+v", snap)
+	}
+	// Mutating the snapshot must not leak back into the elevator, the same
+	// semantics disk.Disk.Stats guarantees.
+	snap.Submitted = 999
+	if got := e.Stats().Submitted; got != 2 {
+		t.Fatalf("snapshot mutation leaked: Submitted = %d, want 2", got)
+	}
+	// New work after a snapshot leaves the earlier snapshot unchanged.
+	e.Schedule([]Request{{Start: 100, Count: 1, Write: false}})
+	if got := e.Stats().Submitted; got != 3 {
+		t.Fatalf("Submitted = %d, want 3", got)
+	}
+}
+
+func TestResetStatsMirrorsDisk(t *testing.T) {
+	e := NewElevator(0)
+	e.Schedule([]Request{{Start: 0, Count: 4, Write: true}, {Start: 4, Count: 4, Write: true}})
+	before := e.Stats()
+	if (before == Stats{}) {
+		t.Fatal("expected non-zero counters before reset")
+	}
+	e.ResetStats()
+	if got := e.Stats(); got != (Stats{}) {
+		t.Fatalf("after ResetStats: %+v, want zeros", got)
+	}
+	// Per-phase delta idiom: snapshot, run, snapshot, Sub.
+	e.Schedule([]Request{{Start: 0, Count: 4, Write: true}})
+	delta := e.Stats().Sub(Stats{})
+	if delta.Submitted != 1 {
+		t.Fatalf("delta = %+v", delta)
+	}
+}

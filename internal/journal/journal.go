@@ -18,6 +18,7 @@ import (
 
 	"redbud/internal/disk"
 	"redbud/internal/sim"
+	"redbud/internal/telemetry"
 )
 
 // Record is one home-block update carried by a transaction.
@@ -65,6 +66,9 @@ type Journal struct {
 	revokesNew int             // revokes since the last commit (revoke-block accounting)
 	checkpoint CheckpointFunc
 	stats      Stats
+
+	// commitHist, when attached, observes every Commit's device cost.
+	commitHist *telemetry.Histogram
 }
 
 // seqRecord orders committed records against revocations.
@@ -102,6 +106,19 @@ func (j *Journal) Revoke(block int64) {
 
 // Stats returns a snapshot of the counters.
 func (j *Journal) Stats() Stats { return j.stats }
+
+// Instrument publishes the journal counters into the registry and attaches
+// a per-commit latency histogram. The journal is serialized by its owning
+// metadata file system, so the collectors read its counters unlocked the
+// same way Stats does.
+func (j *Journal) Instrument(reg *telemetry.Registry, labels telemetry.Labels) {
+	j.commitHist = reg.Histogram("journal_commit_ns", labels)
+	reg.CounterFunc("journal_commits", labels, func() int64 { return j.stats.Commits })
+	reg.CounterFunc("journal_records", labels, func() int64 { return j.stats.Records })
+	reg.CounterFunc("journal_blocks", labels, func() int64 { return j.stats.JournalBlocks })
+	reg.CounterFunc("journal_checkpoints", labels, func() int64 { return j.stats.Checkpoints })
+	reg.CounterFunc("journal_checkpoint_blocks", labels, func() int64 { return j.stats.CheckpointBlocks })
+}
 
 // PendingRecords returns the number of committed-but-unchekpointed records,
 // a test hook.
@@ -148,6 +165,9 @@ func (j *Journal) Commit(records []Record) (sim.Ns, error) {
 	j.stats.Commits++
 	j.stats.Records += int64(len(records))
 	j.stats.JournalBlocks += need
+	if j.commitHist != nil {
+		j.commitHist.Observe(cost)
+	}
 	return cost, nil
 }
 

@@ -6,11 +6,14 @@
 package mds
 
 import (
+	"fmt"
+
 	"redbud/internal/extent"
 	"redbud/internal/inode"
 	"redbud/internal/mdfs"
 	"redbud/internal/netsim"
 	"redbud/internal/sim"
+	"redbud/internal/telemetry"
 )
 
 // Config holds the MDS construction parameters.
@@ -51,6 +54,15 @@ type Server struct {
 	fs    *mdfs.FS
 	link  *netsim.Link // the GbE path clients reach the MDS over
 	stats Stats
+
+	// rpcHist, when attached, observes the modeled cost (CPU + network
+	// round trip) of every RPC. tracer records per-RPC spans on the
+	// simulated timeline; traceParent is the span of the client operation
+	// currently being serviced (the PFS mount sets it, serialized under
+	// the mount lock like every other MDS access).
+	rpcHist     *telemetry.Histogram
+	tracer      *telemetry.Tracer
+	traceParent telemetry.SpanID
 }
 
 // New builds a metadata server, formatting its file system.
@@ -82,12 +94,44 @@ func (s *Server) Root() inode.Ino { return s.fs.Root() }
 // rpcBytes is the modeled size of one metadata request/response pair.
 const rpcBytes = 512
 
-// rpc charges the fixed per-request CPU cost and the GbE round trip.
-func (s *Server) rpc() {
+// rpc charges the fixed per-request CPU cost and the GbE round trip,
+// observing the total into the RPC histogram and recording a named span
+// when telemetry is attached.
+func (s *Server) rpc(name string) {
 	s.stats.RPCs++
 	s.stats.CPUNs += s.cfg.RequestNs
-	s.link.RoundTrip(rpcBytes, rpcBytes)
+	cost := s.cfg.RequestNs + s.link.RoundTrip(rpcBytes, rpcBytes)
+	if s.rpcHist != nil {
+		s.rpcHist.Observe(cost)
+	}
+	if s.tracer != nil {
+		sp := s.tracer.Start("mds", name, s.traceParent)
+		s.tracer.Advance(cost)
+		sp.End()
+	}
 }
+
+// Instrument publishes the server's counters and a per-RPC latency
+// histogram into the registry, and recursively instruments the components
+// it owns: the client-facing GbE link, the metadata store's disk, and the
+// write-ahead journal.
+func (s *Server) Instrument(reg *telemetry.Registry, labels telemetry.Labels) {
+	s.rpcHist = reg.Histogram("mds_rpc_ns", labels)
+	reg.CounterFunc("mds_rpcs", labels, func() int64 { return s.stats.RPCs })
+	reg.CounterFunc("mds_extent_ops", labels, func() int64 { return s.stats.ExtentOps })
+	reg.CounterFunc("mds_cpu_ns", labels, func() int64 { return s.stats.CPUNs })
+	s.link.Instrument(reg, labels.With("layer", "net"))
+	store := s.fs.Store()
+	store.Disk().Instrument(reg, labels.With("layer", "disk"))
+	store.Journal().Instrument(reg, labels.With("layer", "journal"))
+}
+
+// SetTracer attaches (or with nil detaches) the span tracer.
+func (s *Server) SetTracer(t *telemetry.Tracer) { s.tracer = t }
+
+// SetTraceParent declares the span under which subsequent RPCs nest; zero
+// clears it.
+func (s *Server) SetTraceParent(id telemetry.SpanID) { s.traceParent = id }
 
 // NetBusy returns the accumulated network time of the MDS fabric — the
 // quantity to max against the disk timeline when folding elapsed time (the
@@ -105,61 +149,61 @@ func (s *Server) extentWork(n int) {
 
 // Mkdir creates a directory.
 func (s *Server) Mkdir(parent inode.Ino, name string) (inode.Ino, error) {
-	s.rpc()
+	s.rpc("mkdir")
 	return s.fs.Mkdir(parent, name)
 }
 
 // Create creates a file.
 func (s *Server) Create(parent inode.Ino, name string) (inode.Ino, error) {
-	s.rpc()
+	s.rpc("create")
 	return s.fs.Create(parent, name)
 }
 
 // Lookup resolves a name.
 func (s *Server) Lookup(parent inode.Ino, name string) (inode.Ino, error) {
-	s.rpc()
+	s.rpc("lookup")
 	return s.fs.Lookup(parent, name)
 }
 
 // Stat reads an inode.
 func (s *Server) Stat(ino inode.Ino) (inode.Inode, error) {
-	s.rpc()
+	s.rpc("stat")
 	return s.fs.Stat(ino)
 }
 
 // StatName resolves and reads an inode — the readdir-stat pair's unit.
 func (s *Server) StatName(parent inode.Ino, name string) (inode.Inode, error) {
-	s.rpc()
+	s.rpc("stat-name")
 	return s.fs.StatName(parent, name)
 }
 
 // Utime updates an mtime.
 func (s *Server) Utime(ino inode.Ino) error {
-	s.rpc()
+	s.rpc("utime")
 	return s.fs.Utime(ino)
 }
 
 // Unlink removes a file.
 func (s *Server) Unlink(parent inode.Ino, name string) error {
-	s.rpc()
+	s.rpc("unlink")
 	return s.fs.Unlink(parent, name)
 }
 
 // Rmdir removes an empty directory.
 func (s *Server) Rmdir(parent inode.Ino, name string) error {
-	s.rpc()
+	s.rpc("rmdir")
 	return s.fs.Rmdir(parent, name)
 }
 
 // Rename moves an entry, returning its (possibly new) inode number.
 func (s *Server) Rename(srcParent inode.Ino, name string, dstParent inode.Ino, newName string) (inode.Ino, error) {
-	s.rpc()
+	s.rpc("rename")
 	return s.fs.Rename(srcParent, name, dstParent, newName)
 }
 
 // Readdir lists a directory.
 func (s *Server) Readdir(parent inode.Ino) ([]string, error) {
-	s.rpc()
+	s.rpc("readdir")
 	return s.fs.Readdir(parent)
 }
 
@@ -167,7 +211,7 @@ func (s *Server) Readdir(parent inode.Ino) ([]string, error) {
 // proposed and supported by most parallel file systems to fetch the entire
 // directory, including inode contents, in a single MDS request".
 func (s *Server) ReaddirPlus(parent inode.Ino) ([]inode.Inode, error) {
-	s.rpc()
+	s.rpc("readdirplus")
 	recs, err := s.fs.ReaddirPlus(parent)
 	if err != nil {
 		return nil, err
@@ -180,7 +224,7 @@ func (s *Server) ReaddirPlus(parent inode.Ino) ([]inode.Inode, error) {
 // file layout in the same request that opens the file, as pNFS block mode
 // and Lustre do.
 func (s *Server) OpenGetLayout(parent inode.Ino, name string) (inode.Ino, []extent.Extent, error) {
-	s.rpc()
+	s.rpc("open-getlayout")
 	ino, err := s.fs.Lookup(parent, name)
 	if err != nil {
 		return 0, nil, err
@@ -196,7 +240,7 @@ func (s *Server) OpenGetLayout(parent inode.Ino, name string) (inode.Ino, []exte
 // SetLayout records a file's data placement as reported by the IO servers,
 // charging the mapping-maintenance CPU.
 func (s *Server) SetLayout(ino inode.Ino, exts []extent.Extent) error {
-	s.rpc()
+	s.rpc("setlayout")
 	s.extentWork(len(exts))
 	return s.fs.SetLayout(ino, exts)
 }
@@ -204,6 +248,12 @@ func (s *Server) SetLayout(ino inode.Ino, exts []extent.Extent) error {
 // NoteExtentChurn charges mapping-maintenance CPU for extents manipulated
 // during writes (merging, indexing) without an explicit SetLayout RPC.
 func (s *Server) NoteExtentChurn(n int) {
+	if s.tracer != nil && n > 0 {
+		sp := s.tracer.Start("mds", "extent-churn", s.traceParent)
+		s.tracer.Advance(sim.Ns(n) * s.cfg.ExtentOpNs)
+		sp.Annotate("units", fmt.Sprint(n))
+		sp.End()
+	}
 	s.extentWork(n)
 }
 

@@ -13,9 +13,11 @@ package netsim
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 
 	"redbud/internal/sim"
+	"redbud/internal/telemetry"
 )
 
 // Config holds a link's physical parameters.
@@ -48,6 +50,9 @@ type Link struct {
 	mu    sync.Mutex
 	cfg   Config
 	stats Stats
+
+	// transferHist, when attached, observes every Transfer duration.
+	transferHist *telemetry.Histogram
 }
 
 // NewLink builds a link. It panics on a non-positive bandwidth: a link
@@ -73,7 +78,11 @@ func (l *Link) Transfer(bytes int64) sim.Ns {
 	l.stats.Messages++
 	l.stats.Bytes += bytes
 	l.stats.BusyNs += cost
+	hist := l.transferHist
 	l.mu.Unlock()
+	if hist != nil {
+		hist.Observe(cost)
+	}
 	return cost
 }
 
@@ -95,6 +104,17 @@ func (l *Link) Reset() {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.stats = Stats{}
+}
+
+// Instrument publishes the link counters into the registry under the given
+// labels and attaches a per-transfer latency histogram.
+func (l *Link) Instrument(reg *telemetry.Registry, labels telemetry.Labels) {
+	l.mu.Lock()
+	l.transferHist = reg.Histogram("net_transfer_ns", labels)
+	l.mu.Unlock()
+	reg.CounterFunc("net_messages", labels, func() int64 { return l.Stats().Messages })
+	reg.CounterFunc("net_bytes", labels, func() int64 { return l.Stats().Bytes })
+	reg.CounterFunc("net_busy_ns", labels, func() int64 { return l.Stats().BusyNs })
 }
 
 // Fabric is a set of per-client links sharing one profile — the
@@ -149,5 +169,13 @@ func (f *Fabric) TotalStats() Stats {
 func (f *Fabric) Reset() {
 	for _, l := range f.links {
 		l.Reset()
+	}
+}
+
+// Instrument instruments every member link, distinguishing them with a
+// "link" label on top of the given base labels.
+func (f *Fabric) Instrument(reg *telemetry.Registry, labels telemetry.Labels) {
+	for i, l := range f.links {
+		l.Instrument(reg, labels.With("link", strconv.Itoa(i)))
 	}
 }

@@ -102,6 +102,8 @@ func (s *Server) flushAllBuffersLocked() error {
 func (s *Server) Fsync(id ObjectID) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	sp, prev := s.startOpLocked("fsync")
+	defer s.endOpLocked(sp, prev)
 	o, err := s.object(id)
 	if err != nil {
 		return err

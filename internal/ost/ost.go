@@ -18,6 +18,7 @@ import (
 	"redbud/internal/extent"
 	"redbud/internal/iosched"
 	"redbud/internal/sim"
+	"redbud/internal/telemetry"
 )
 
 // ObjectID names one file component stored on a server. The metadata server
@@ -123,6 +124,15 @@ type Server struct {
 	// Delayed-allocation write buffers (nil unless enabled).
 	buffered       map[ObjectID][]bufWrite
 	bufferedBlocks int64
+
+	// flushHist, when attached, observes the device cost of every queue
+	// flush. tracer records client-operation spans; traceParent is the PFS
+	// operation span currently being serviced, and curSpan the OST op span
+	// that any flush it triggers nests under (both manipulated under mu).
+	flushHist   *telemetry.Histogram
+	tracer      *telemetry.Tracer
+	traceParent telemetry.SpanID
+	curSpan     telemetry.SpanID
 }
 
 // NewServer builds IO server id with the given configuration.
@@ -158,6 +168,77 @@ func (s *Server) Allocator() *alloc.Allocator { return s.alloc }
 
 // Scheduler exposes the elevator for measurement.
 func (s *Server) Scheduler() *iosched.Elevator { return s.sched }
+
+// Instrument publishes the server's queue and prefetch state into the
+// registry and recursively instruments the disk and the elevator it owns.
+// Gauges read the live queue under the server lock at snapshot time.
+func (s *Server) Instrument(reg *telemetry.Registry, labels telemetry.Labels) {
+	s.mu.Lock()
+	s.flushHist = reg.Histogram("ost_flush_ns", labels)
+	s.mu.Unlock()
+	s.disk.Instrument(reg, labels.With("layer", "disk"))
+	s.sched.Instrument(reg, labels.With("layer", "iosched"))
+	reg.GaugeFunc("ost_queue_requests", labels, func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return int64(len(s.queue))
+	})
+	reg.GaugeFunc("ost_pending_read_blocks", labels, func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.pendingRead
+	})
+	reg.GaugeFunc("ost_pending_write_blocks", labels, func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.pendingWrite
+	})
+	reg.GaugeFunc("ost_buffered_blocks", labels, func() int64 { return s.BufferedBlocks() })
+	reg.CounterFunc("ost_prefetch_hit_blocks", labels, func() int64 { return s.PrefetchHits() })
+}
+
+// SetTracer attaches (or with nil detaches) the span tracer, propagating it
+// to the elevator so dispatches and per-request disk accesses are traced.
+func (s *Server) SetTracer(t *telemetry.Tracer) {
+	s.mu.Lock()
+	s.tracer = t
+	s.mu.Unlock()
+	s.sched.SetTracer(t)
+}
+
+// SetTraceParent declares the client-operation span under which subsequent
+// OST operations nest; zero clears it. The PFS mount sets it under its own
+// lock before issuing each operation.
+func (s *Server) SetTraceParent(id telemetry.SpanID) {
+	s.mu.Lock()
+	s.traceParent = id
+	s.mu.Unlock()
+}
+
+// startOpLocked opens an "ost" span for one client operation and makes it
+// the parent of any device flush the operation triggers, returning the span
+// and the previous flush parent to restore. Safe (and a no-op) without a
+// tracer. Callers hold s.mu.
+func (s *Server) startOpLocked(name string) (*telemetry.ActiveSpan, telemetry.SpanID) {
+	if s.tracer == nil {
+		return nil, 0
+	}
+	sp := s.tracer.Start("ost", name, s.traceParent)
+	sp.Annotate("ost", fmt.Sprint(s.id))
+	prev := s.curSpan
+	s.curSpan = sp.ID()
+	return sp, prev
+}
+
+// endOpLocked closes an operation span opened by startOpLocked and restores
+// the previous flush parent. Callers hold s.mu.
+func (s *Server) endOpLocked(sp *telemetry.ActiveSpan, prev telemetry.SpanID) {
+	if sp == nil {
+		return
+	}
+	s.curSpan = prev
+	sp.End()
+}
 
 // CreateObject registers a new object whose blocks will be placed by the
 // policy the factory builds. Creating an existing object is an error.
@@ -219,6 +300,10 @@ func (s *Server) Write(id ObjectID, stream core.StreamID, logical, count int64) 
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	sp, prev := s.startOpLocked("write")
+	sp.Annotate("object", fmt.Sprint(id))
+	sp.Annotate("blocks", fmt.Sprint(count))
+	defer s.endOpLocked(sp, prev)
 	o, err := s.object(id)
 	if err != nil {
 		return err
@@ -323,6 +408,10 @@ func (s *Server) Read(id ObjectID, logical, count int64) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	sp, prev := s.startOpLocked("read")
+	sp.Annotate("object", fmt.Sprint(id))
+	sp.Annotate("blocks", fmt.Sprint(count))
+	defer s.endOpLocked(sp, prev)
 	o, err := s.object(id)
 	if err != nil {
 		return err
@@ -552,10 +641,13 @@ func (s *Server) flushLocked() sim.Ns {
 	if len(s.queue) == 0 {
 		return 0
 	}
-	cost := s.sched.Run(s.disk, s.queue)
+	cost := s.sched.RunTraced(s.disk, s.queue, s.curSpan)
 	s.queue = s.queue[:0]
 	s.pendingRead = 0
 	s.pendingWrite = 0
+	if s.flushHist != nil {
+		s.flushHist.Observe(cost)
+	}
 	return cost
 }
 
@@ -565,6 +657,8 @@ func (s *Server) flushLocked() sim.Ns {
 func (s *Server) Flush() sim.Ns {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	sp, prev := s.startOpLocked("flush")
+	defer s.endOpLocked(sp, prev)
 	if err := s.flushAllBuffersLocked(); err != nil {
 		// Allocation failure at writeback time is a data-loss class
 		// error; surface loudly in the simulation.

@@ -22,6 +22,7 @@ import (
 	"redbud/internal/netsim"
 	"redbud/internal/ost"
 	"redbud/internal/sim"
+	"redbud/internal/telemetry"
 )
 
 // PolicyKind selects the data-placement policy applied at the IO servers.
@@ -71,6 +72,13 @@ type Config struct {
 	ReservationWindow int64
 	// OnDemand configures the MiF policy.
 	OnDemand core.OnDemandConfig
+	// Metrics, when set, instruments the mount into the registry at New
+	// time (labeled with the configuration Name). Multiple mounts may share
+	// one registry; their counters sum.
+	Metrics *telemetry.Registry
+	// Trace, when set, records per-layer request spans on the tracer's
+	// simulated timeline for every operation on the mount.
+	Trace *telemetry.Tracer
 }
 
 // MiF returns the full MiF system: on-demand preallocation and embedded
@@ -136,6 +144,13 @@ type FS struct {
 	fabric  *netsim.Fabric // per-OST FibreChannel data paths
 	files   map[inode.Ino]*file
 	nextObj uint64
+
+	// tracer records per-operation spans; writeHist/readHist observe each
+	// client operation's simulated duration (the trace clock's advance over
+	// the op) when both a registry and a tracer are attached.
+	tracer    *telemetry.Tracer
+	writeHist *telemetry.Histogram
+	readHist  *telemetry.Histogram
 }
 
 // New formats and mounts a Redbud file system.
@@ -159,7 +174,104 @@ func New(cfg Config) (*FS, error) {
 	for i := 0; i < cfg.OSTs; i++ {
 		fs.osts = append(fs.osts, ost.NewServer(i, cfg.OST))
 	}
+	if cfg.Metrics != nil {
+		fs.Instrument(cfg.Metrics, telemetry.Labels{"fs": cfg.Name})
+	}
+	if cfg.Trace != nil {
+		fs.SetTracer(cfg.Trace)
+	}
 	return fs, nil
+}
+
+// Instrument publishes the whole mount into the registry: per-operation
+// latency histograms at the PFS layer, then recursively the MDS (with its
+// GbE link, metadata disk, and journal), every IO server (with its disk and
+// elevator), and the FibreChannel data fabric. Each component's metrics are
+// distinguished by a "layer" label on top of the given base labels.
+func (fs *FS) Instrument(reg *telemetry.Registry, labels telemetry.Labels) {
+	fs.mu.Lock()
+	pl := labels.With("layer", "pfs")
+	fs.writeHist = reg.Histogram("pfs_write_ns", pl)
+	fs.readHist = reg.Histogram("pfs_read_ns", pl)
+	fs.mu.Unlock()
+	fs.mds.Instrument(reg, labels.With("layer", "mds"))
+	for i, srv := range fs.osts {
+		srv.Instrument(reg, labels.With("layer", "ost").With("ost", fmt.Sprint(i)))
+	}
+	fs.fabric.Instrument(reg, labels.With("layer", "net"))
+}
+
+// SetTracer attaches (or with nil detaches) the span tracer to the mount
+// and every server beneath it.
+func (fs *FS) SetTracer(t *telemetry.Tracer) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.tracer = t
+	fs.mds.SetTracer(t)
+	for _, srv := range fs.osts {
+		srv.SetTracer(t)
+	}
+}
+
+// Tracer returns the attached tracer (nil when tracing is off).
+func (fs *FS) Tracer() *telemetry.Tracer {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.tracer
+}
+
+// startOpLocked opens the root "pfs" span of one client operation and points
+// the MDS and IO servers at it so their spans nest underneath. Callers hold
+// fs.mu; a nil tracer makes the whole chain a no-op.
+func (fs *FS) startOpLocked(name string) *telemetry.ActiveSpan {
+	if fs.tracer == nil {
+		return nil
+	}
+	sp := fs.tracer.Start("pfs", name, 0)
+	fs.setTraceParentLocked(sp.ID())
+	return sp
+}
+
+// endOpLocked closes an operation span and clears the servers' trace
+// parents. Callers hold fs.mu.
+func (fs *FS) endOpLocked(sp *telemetry.ActiveSpan) {
+	if sp == nil {
+		return
+	}
+	fs.setTraceParentLocked(0)
+	sp.End()
+}
+
+func (fs *FS) setTraceParentLocked(id telemetry.SpanID) {
+	fs.mds.SetTraceParent(id)
+	for _, srv := range fs.osts {
+		srv.SetTraceParent(id)
+	}
+}
+
+// transferTraced charges one fabric transfer to OST ostIdx, recording a
+// "net" span under parent and advancing the trace timeline by its cost.
+// Callers hold fs.mu.
+func (fs *FS) transferTraced(ostIdx int, bytes int64, parent telemetry.SpanID) {
+	if fs.tracer == nil {
+		fs.fabric.Link(ostIdx).Transfer(bytes)
+		return
+	}
+	sp := fs.tracer.Start("net", "transfer", parent)
+	cost := fs.fabric.Link(ostIdx).Transfer(bytes)
+	fs.tracer.Advance(cost)
+	sp.Annotate("ost", fmt.Sprint(ostIdx))
+	sp.Annotate("bytes", fmt.Sprint(bytes))
+	sp.End()
+}
+
+// observeOpLocked records one operation's simulated duration — the trace
+// clock's advance since begin — into the histogram. Without a tracer there
+// is no per-op timeline, so nothing is observed. Callers hold fs.mu.
+func (fs *FS) observeOpLocked(h *telemetry.Histogram, begin sim.Ns) {
+	if h != nil && fs.tracer != nil {
+		h.Observe(fs.tracer.Now() - begin)
+	}
 }
 
 // Config returns the mount configuration.
@@ -211,6 +323,8 @@ func (fs *FS) policyFactory() ost.PolicyFactory {
 func (fs *FS) Mkdir(parent inode.Ino, name string) (inode.Ino, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	sp := fs.startOpLocked("mkdir")
+	defer fs.endOpLocked(sp)
 	return fs.mds.Mkdir(parent, name)
 }
 
@@ -220,6 +334,8 @@ func (fs *FS) Mkdir(parent inode.Ino, name string) (inode.Ino, error) {
 func (fs *FS) Create(parent inode.Ino, name string, sizeHintBlocks int64) (*File, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	sp := fs.startOpLocked("create")
+	defer fs.endOpLocked(sp)
 	ino, err := fs.mds.Create(parent, name)
 	if err != nil {
 		return nil, err
@@ -255,6 +371,8 @@ func (fs *FS) Create(parent inode.Ino, name string, sizeHintBlocks int64) (*File
 func (fs *FS) Open(parent inode.Ino, name string) (*File, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	sp := fs.startOpLocked("open")
+	defer fs.endOpLocked(sp)
 	ino, _, err := fs.mds.OpenGetLayout(parent, name)
 	if err != nil {
 		return nil, err
@@ -270,6 +388,8 @@ func (fs *FS) Open(parent inode.Ino, name string) (*File, error) {
 func (fs *FS) Delete(parent inode.Ino, name string) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	sp := fs.startOpLocked("delete")
+	defer fs.endOpLocked(sp)
 	ino, err := fs.mds.Lookup(parent, name)
 	if err != nil {
 		return err
@@ -449,12 +569,19 @@ func (h *File) Write(stream core.StreamID, blk, count int64) error {
 	fs := h.fs
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	sp := fs.startOpLocked("write")
+	sp.Annotate("blocks", fmt.Sprint(count))
+	begin := fs.tracer.Now()
+	defer func() {
+		fs.observeOpLocked(fs.writeHist, begin)
+		fs.endOpLocked(sp)
+	}()
 	before, err := fs.totalExtentsLocked(h.f)
 	if err != nil {
 		return err
 	}
 	for _, p := range fs.stripeRange(blk, count) {
-		fs.fabric.Link(p.ostIdx).Transfer(p.count * fs.cfg.OST.Disk.BlockSize)
+		fs.transferTraced(p.ostIdx, p.count*fs.cfg.OST.Disk.BlockSize, sp.ID())
 		if err := fs.osts[p.ostIdx].Write(h.f.objects[p.ostIdx], stream, p.logical, p.count); err != nil {
 			return err
 		}
@@ -484,8 +611,15 @@ func (h *File) Read(blk, count int64) error {
 	fs := h.fs
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	sp := fs.startOpLocked("read")
+	sp.Annotate("blocks", fmt.Sprint(count))
+	begin := fs.tracer.Now()
+	defer func() {
+		fs.observeOpLocked(fs.readHist, begin)
+		fs.endOpLocked(sp)
+	}()
 	for _, p := range fs.stripeRange(blk, count) {
-		fs.fabric.Link(p.ostIdx).Transfer(p.count * fs.cfg.OST.Disk.BlockSize)
+		fs.transferTraced(p.ostIdx, p.count*fs.cfg.OST.Disk.BlockSize, sp.ID())
 		if err := fs.osts[p.ostIdx].Read(h.f.objects[p.ostIdx], p.logical, p.count); err != nil {
 			return err
 		}
@@ -502,6 +636,8 @@ func (h *File) Truncate(sizeBlocks int64) error {
 	fs := h.fs
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	sp := fs.startOpLocked("truncate")
+	defer fs.endOpLocked(sp)
 	for i, srv := range fs.osts {
 		if err := srv.Truncate(h.f.objects[i], fs.componentBlocks(sizeBlocks, i)); err != nil {
 			return err
@@ -517,6 +653,8 @@ func (h *File) Fsync() error {
 	fs := h.fs
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	sp := fs.startOpLocked("fsync")
+	defer fs.endOpLocked(sp)
 	for i, srv := range fs.osts {
 		if err := srv.Fsync(h.f.objects[i]); err != nil {
 			return err
@@ -531,6 +669,8 @@ func (h *File) Close() error {
 	fs := h.fs
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	sp := fs.startOpLocked("close")
+	defer fs.endOpLocked(sp)
 	var layout []extent.Extent
 	for i, srv := range fs.osts {
 		if err := srv.CloseObject(h.f.objects[i]); err != nil {

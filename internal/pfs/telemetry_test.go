@@ -1,0 +1,173 @@
+package pfs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"redbud/internal/core"
+	"redbud/internal/disk"
+	"redbud/internal/netsim"
+	"redbud/internal/telemetry"
+)
+
+func TestResetDataStatsZeroesDiskAndFabric(t *testing.T) {
+	fs := newMiF(t, 2)
+	h, err := fs.Create(fs.Root(), "a.dat", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Write(core.StreamID{Client: 1, PID: 1}, 0, 256); err != nil {
+		t.Fatal(err)
+	}
+	fs.Flush()
+	if fs.DataStats().Requests == 0 {
+		t.Fatal("expected disk traffic before reset")
+	}
+	if fs.Fabric().TotalStats().Messages == 0 {
+		t.Fatal("expected fabric traffic before reset")
+	}
+
+	fs.ResetDataStats()
+
+	if st := fs.DataStats(); st != (disk.Stats{}) {
+		t.Fatalf("disk counters survived reset: %+v", st)
+	}
+	if st := fs.Fabric().TotalStats(); st != (netsim.Stats{}) {
+		t.Fatalf("fabric counters survived reset: %+v", st)
+	}
+	for i := 0; i < fs.Fabric().Len(); i++ {
+		if st := fs.Fabric().Link(i).Stats(); st != (netsim.Stats{}) {
+			t.Fatalf("link %d counters survived reset: %+v", i, st)
+		}
+	}
+}
+
+// TestTelemetryEndToEnd drives an instrumented mount and asserts the two
+// halves of the observability layer: the registry holds non-empty per-layer
+// latency histograms, and the trace contains one request whose span chain
+// reaches from the pfs entry point down to the disk.
+func TestTelemetryEndToEnd(t *testing.T) {
+	cfg := MiF(2)
+	reg := telemetry.NewRegistry()
+	tr := telemetry.NewTracer(nil)
+	cfg.Metrics = reg
+	cfg.Trace = tr
+	fs, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := fs.Create(fs.Root(), "a.dat", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := core.StreamID{Client: 1, PID: 1}
+	if err := h.Write(stream, 0, 512); err != nil {
+		t.Fatal(err)
+	}
+	fs.Flush()
+	// A large read forces a device-queue flush inside the Read op, so the
+	// iosched and disk spans nest under the pfs "read" root.
+	if err := h.Read(0, 512); err != nil {
+		t.Fatal(err)
+	}
+	fs.Flush()
+
+	// Registry: per-layer latency histograms are populated.
+	hists := make(map[string]int64)
+	for _, s := range reg.Snapshot() {
+		if s.Hist != nil {
+			hists[s.Name] += s.Hist.Count
+		}
+	}
+	for _, name := range []string{"pfs_write_ns", "pfs_read_ns", "mds_rpc_ns", "net_transfer_ns", "ost_flush_ns", "iosched_batch_requests", "disk_service_ns"} {
+		if hists[name] == 0 {
+			t.Errorf("histogram %s is empty; populated: %v", name, hists)
+		}
+	}
+
+	// Trace: every IO-path layer appears, and a disk span's parent chain
+	// climbs through iosched and ost to a pfs root.
+	spans := tr.Spans()
+	byID := make(map[telemetry.SpanID]telemetry.Span, len(spans))
+	layers := make(map[string]bool)
+	for _, sp := range spans {
+		byID[sp.ID] = sp
+		layers[sp.Layer] = true
+	}
+	for _, l := range []string{"pfs", "mds", "net", "ost", "iosched", "disk"} {
+		if !layers[l] {
+			t.Errorf("no span recorded for layer %q (have %v)", l, layers)
+		}
+	}
+	var chained bool
+	for _, sp := range spans {
+		if sp.Layer != "disk" {
+			continue
+		}
+		chain := make(map[string]bool)
+		for cur := sp; ; {
+			chain[cur.Layer] = true
+			parent, ok := byID[cur.Parent]
+			if !ok {
+				break
+			}
+			cur = parent
+		}
+		if chain["disk"] && chain["iosched"] && chain["ost"] && chain["pfs"] {
+			chained = true
+			break
+		}
+	}
+	if !chained {
+		t.Error("no disk span chains up through iosched and ost to a pfs root")
+	}
+
+	// Exporters round-trip: the span log parses back, and the Chrome trace
+	// is valid JSON with complete events for the IO-path layers.
+	var log bytes.Buffer
+	if err := tr.WriteSpanLog(&log); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := telemetry.ReadSpanLog(&log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(spans) {
+		t.Fatalf("span log round trip: %d spans, want %d", len(parsed), len(spans))
+	}
+	var chrome bytes.Buffer
+	if err := tr.WriteChromeTrace(&chrome); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Phase string `json:"ph"`
+			Cat   string `json:"cat"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(chrome.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	cats := make(map[string]bool)
+	for _, ev := range doc.TraceEvents {
+		if ev.Phase == "X" {
+			cats[ev.Cat] = true
+		}
+	}
+	for _, l := range []string{"pfs", "mds", "ost", "iosched", "disk"} {
+		if !cats[l] {
+			t.Errorf("chrome trace has no complete event for layer %q", l)
+		}
+	}
+
+	// The registry's text rendering is non-empty and mentions a histogram.
+	var text strings.Builder
+	if err := reg.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "disk_service_ns") {
+		t.Errorf("WriteText output missing disk_service_ns:\n%s", text.String())
+	}
+}

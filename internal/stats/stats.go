@@ -28,6 +28,19 @@ func (d *Dist) Add(v int64) {
 	d.sorted = false
 }
 
+// Merge folds every sample of o into d, leaving o unchanged. Merging a
+// distribution into itself doubles it, which follows from the sample
+// semantics. The telemetry registry uses Merge to aggregate per-component
+// histograms into layer-wide ones.
+func (d *Dist) Merge(o *Dist) {
+	if o == nil || len(o.values) == 0 {
+		return
+	}
+	d.values = append(d.values, o.values...)
+	d.sum += o.sum
+	d.sorted = false
+}
+
 // Count returns the number of samples.
 func (d *Dist) Count() int { return len(d.values) }
 

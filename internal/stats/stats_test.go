@@ -54,6 +54,84 @@ func TestDistPercentileBounds(t *testing.T) {
 	}
 }
 
+func TestDistPercentileEdgeCases(t *testing.T) {
+	var empty Dist
+	for _, p := range []float64{1, 50, 100} {
+		if got := empty.Percentile(p); got != 0 {
+			t.Errorf("empty p%g = %d, want 0", p, got)
+		}
+	}
+
+	var single Dist
+	single.Add(42)
+	for _, p := range []float64{0.001, 1, 50, 99, 100} {
+		if got := single.Percentile(p); got != 42 {
+			t.Errorf("single-sample p%g = %d, want 42", p, got)
+		}
+	}
+	if single.Min() != 42 || single.Max() != 42 {
+		t.Errorf("single-sample min/max = %d/%d", single.Min(), single.Max())
+	}
+
+	var d Dist
+	for v := int64(1); v <= 10; v++ {
+		d.Add(v)
+	}
+	if got := d.Percentile(100); got != d.Max() {
+		t.Errorf("p100 = %d, want max %d", got, d.Max())
+	}
+	if got := d.Percentile(10); got != 1 {
+		t.Errorf("p10 = %d, want 1 (nearest rank)", got)
+	}
+}
+
+func TestDistMergeSelf(t *testing.T) {
+	var d Dist
+	for _, v := range []int64{1, 2, 3} {
+		d.Add(v)
+	}
+	d.Merge(&d)
+	if d.Count() != 6 || d.Sum() != 12 {
+		t.Fatalf("self-merge count/sum = %d/%d, want 6/12", d.Count(), d.Sum())
+	}
+	if d.Min() != 1 || d.Max() != 3 {
+		t.Fatalf("self-merge min/max = %d/%d", d.Min(), d.Max())
+	}
+}
+
+// Property: Add and Merge preserve Sum and Count exactly — the invariant
+// the telemetry registry's aggregation rests on.
+func TestDistAddMergePreservesSumCount(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRand(seed)
+		var a, b Dist
+		var wantSum int64
+		var wantCount int
+		for i, n := 0, rng.Intn(100); i < n; i++ {
+			v := rng.Int63n(1_000_000) - 500_000
+			a.Add(v)
+			wantSum += v
+			wantCount++
+		}
+		for i, n := 0, rng.Intn(100); i < n; i++ {
+			v := rng.Int63n(1_000_000) - 500_000
+			b.Add(v)
+			wantSum += v
+			wantCount++
+		}
+		bSum, bCount := b.Sum(), b.Count()
+		a.Merge(&b)
+		// Merge must leave the source untouched.
+		if b.Sum() != bSum || b.Count() != bCount {
+			return false
+		}
+		return a.Sum() == wantSum && a.Count() == wantCount
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // Property: percentiles are monotone and bounded by min/max, and adding
 // after reading percentiles stays consistent.
 func TestDistMonotoneProperty(t *testing.T) {

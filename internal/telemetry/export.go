@@ -1,0 +1,158 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// spanLog is the on-disk span-log format: a self-describing JSON document
+// (rather than raw arrays) so the converter can validate provenance.
+type spanLog struct {
+	Format string `json:"format"`
+	Clock  string `json:"clock"`
+	Spans  []Span `json:"spans"`
+}
+
+// spanLogFormat tags span-log documents.
+const spanLogFormat = "redbud-spans/1"
+
+// WriteSpanLog serializes spans as a span-log JSON document, the recorded
+// form that `miftrace spans` converts to Chrome trace JSON.
+func WriteSpanLog(w io.Writer, spans []Span) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(spanLog{Format: spanLogFormat, Clock: "sim-ns", Spans: spans})
+}
+
+// WriteSpanLog writes the tracer's recorded spans as a span log.
+func (t *Tracer) WriteSpanLog(w io.Writer) error {
+	return WriteSpanLog(w, t.Spans())
+}
+
+// ReadSpanLog parses a span-log document.
+func ReadSpanLog(r io.Reader) ([]Span, error) {
+	var log spanLog
+	if err := json.NewDecoder(r).Decode(&log); err != nil {
+		return nil, fmt.Errorf("telemetry: parse span log: %w", err)
+	}
+	if log.Format != spanLogFormat {
+		return nil, fmt.Errorf("telemetry: span log format %q, want %q", log.Format, spanLogFormat)
+	}
+	return log.Spans, nil
+}
+
+// chromeEvent is one trace_event entry. Only the fields chrome://tracing
+// and Perfetto consume are emitted.
+type chromeEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat,omitempty"`
+	Phase string            `json:"ph"`
+	TS    float64           `json:"ts"`            // microseconds
+	Dur   float64           `json:"dur,omitempty"` // microseconds
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Scope string            `json:"s,omitempty"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object trace container format.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// layerOrder fixes the track ordering of the known IO-path layers so a
+// request reads top-to-bottom: client entry at the top, spindle at the
+// bottom. Unknown layers are appended alphabetically after these.
+var layerOrder = []string{"phase", "pfs", "mds", "net", "ost", "iosched", "disk", "journal"}
+
+// WriteChromeTrace converts spans to Chrome trace_event JSON ("X" complete
+// events, one track per layer, span events as "i" instants) that
+// chrome://tracing and Perfetto open directly. Timestamps are simulated
+// nanoseconds rendered in microseconds, the unit the trace viewer assumes.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	// Assign a stable tid per layer.
+	tids := make(map[string]int)
+	for i, l := range layerOrder {
+		tids[l] = i + 1
+	}
+	var extras []string
+	seen := make(map[string]bool)
+	for _, sp := range spans {
+		if _, ok := tids[sp.Layer]; !ok && !seen[sp.Layer] {
+			seen[sp.Layer] = true
+			extras = append(extras, sp.Layer)
+		}
+	}
+	sort.Strings(extras)
+	for _, l := range extras {
+		tids[l] = len(tids) + 1
+	}
+
+	events := make([]chromeEvent, 0, len(spans)*2+len(tids))
+	// Thread-name metadata so the viewer labels tracks by layer.
+	used := make(map[string]bool)
+	for _, sp := range spans {
+		used[sp.Layer] = true
+	}
+	for layer, tid := range tids {
+		if !used[layer] {
+			continue
+		}
+		events = append(events, chromeEvent{
+			Name: "thread_name", Phase: "M", PID: 1, TID: tid,
+			Args: map[string]string{"name": layer},
+		})
+	}
+	for _, sp := range spans {
+		tid := tids[sp.Layer]
+		args := make(map[string]string, len(sp.Attrs)+2)
+		args["span"] = fmt.Sprint(sp.ID)
+		if sp.Parent != 0 {
+			args["parent"] = fmt.Sprint(sp.Parent)
+		}
+		for _, a := range sp.Attrs {
+			args[a.Key] = a.Value
+		}
+		events = append(events, chromeEvent{
+			Name:  sp.Name,
+			Cat:   sp.Layer,
+			Phase: "X",
+			TS:    float64(sp.Begin) / 1e3,
+			Dur:   float64(sp.End-sp.Begin) / 1e3,
+			PID:   1,
+			TID:   tid,
+			Args:  args,
+		})
+		for _, ev := range sp.Events {
+			events = append(events, chromeEvent{
+				Name:  ev.Name,
+				Cat:   sp.Layer,
+				Phase: "i",
+				TS:    float64(ev.At) / 1e3,
+				PID:   1,
+				TID:   tid,
+				Scope: "t",
+				Args:  map[string]string{"span": fmt.Sprint(sp.ID)},
+			})
+		}
+	}
+	// Stable output: metadata first, then events by timestamp.
+	sort.SliceStable(events, func(i, j int) bool {
+		mi, mj := events[i].Phase == "M", events[j].Phase == "M"
+		if mi != mj {
+			return mi
+		}
+		return events[i].TS < events[j].TS
+	})
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// WriteChromeTrace writes the tracer's recorded spans in Chrome
+// trace_event JSON.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	return WriteChromeTrace(w, t.Spans())
+}

@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentRegistryHammer drives counters, gauges, histograms, and
+// snapshots from many goroutines at once. Run under -race (make race / ci)
+// it proves the registry's hot paths are data-race free.
+func TestConcurrentRegistryHammer(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits", nil)
+	g := r.Gauge("depth", nil)
+	h := r.Histogram("lat", nil)
+	r.CounterFunc("fn", nil, func() int64 { return c.Value() })
+
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Set(int64(i))
+				h.Observe(int64(i))
+				if i%256 == 0 {
+					// Late registration and snapshotting race the updates.
+					r.Counter("hits", nil).Add(0)
+					r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if c.Value() != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*perWorker)
+	}
+	if s := h.Snapshot(); s.Count != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", s.Count, workers*perWorker)
+	}
+}
+
+// TestConcurrentTracerHammer overlaps span recording from many goroutines
+// with snapshot reads, for the race detector.
+func TestConcurrentTracerHammer(t *testing.T) {
+	tr := NewTracer(nil)
+	tr.SetMaxSpans(1000)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				sp := tr.Start("disk", "op", 0)
+				tr.Advance(1)
+				sp.Annotate("i", "x")
+				sp.End()
+				if i%128 == 0 {
+					tr.Spans()
+					tr.Len()
+					tr.Dropped()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Len()+int(tr.Dropped()) != 8*500 {
+		t.Fatalf("retained %d + dropped %d spans, want %d total", tr.Len(), tr.Dropped(), 8*500)
+	}
+}

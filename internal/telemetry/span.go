@@ -1,0 +1,239 @@
+package telemetry
+
+import (
+	"sync"
+
+	"redbud/internal/sim"
+)
+
+// SpanID identifies one span within a Tracer. Zero means "no span" and is
+// the parent of root spans.
+type SpanID int64
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Event is a point-in-time marker inside a span (a merge, a positioning, a
+// phase boundary), stamped on the simulated timeline.
+type Event struct {
+	Name string `json:"name"`
+	At   sim.Ns `json:"at"`
+}
+
+// Span is one completed interval on the simulated timeline, attributed to a
+// layer (pfs, mds, net, ost, iosched, disk, journal, ...).
+type Span struct {
+	ID     SpanID  `json:"id"`
+	Parent SpanID  `json:"parent,omitempty"`
+	Layer  string  `json:"layer"`
+	Name   string  `json:"name"`
+	Begin  sim.Ns  `json:"begin"`
+	End    sim.Ns  `json:"end"`
+	Attrs  []Attr  `json:"attrs,omitempty"`
+	Events []Event `json:"events,omitempty"`
+}
+
+// Dur returns the span's duration.
+func (s Span) Dur() sim.Ns { return s.End - s.Begin }
+
+// DefaultMaxSpans bounds a tracer's retained spans. Benchmark runs issue
+// hundreds of thousands of requests; the cap keeps a whole-run trace at a
+// size chrome://tracing still opens, dropping the tail and counting drops.
+const DefaultMaxSpans = 200_000
+
+// Tracer records spans on a simulated clock. All methods are safe for
+// concurrent use, and every method is safe on a nil receiver (it becomes a
+// no-op) so instrumented code paths need no tracing-enabled conditionals.
+type Tracer struct {
+	clock *sim.Clock
+
+	mu      sync.Mutex
+	spans   []Span
+	nextID  SpanID
+	max     int
+	dropped int64
+}
+
+// NewTracer builds a tracer over the given clock; a nil clock gets a fresh
+// one starting at time zero. The clock is the trace's timeline: device and
+// CPU model costs are folded into it via Advance as instrumented layers
+// incur them.
+func NewTracer(clock *sim.Clock) *Tracer {
+	if clock == nil {
+		clock = &sim.Clock{}
+	}
+	return &Tracer{clock: clock, max: DefaultMaxSpans}
+}
+
+// Clock returns the tracer's timeline clock (nil for a nil tracer).
+func (t *Tracer) Clock() *sim.Clock {
+	if t == nil {
+		return nil
+	}
+	return t.clock
+}
+
+// SetMaxSpans bounds the retained span count; n <= 0 means unbounded.
+func (t *Tracer) SetMaxSpans(n int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.max = n
+	t.mu.Unlock()
+}
+
+// Now returns the current simulated time (0 for a nil tracer).
+func (t *Tracer) Now() sim.Ns {
+	if t == nil {
+		return 0
+	}
+	return t.clock.Now()
+}
+
+// Advance moves the trace timeline forward by the given cost. Instrumented
+// layers call it with the simulated durations their device/CPU models
+// return, which serializes the work of one request into a readable
+// timeline.
+func (t *Tracer) Advance(d sim.Ns) {
+	if t == nil || d <= 0 {
+		return
+	}
+	t.clock.Advance(d)
+}
+
+// ActiveSpan is an in-progress span. Methods on a nil ActiveSpan are
+// no-ops, so call sites stay unconditional whether or not tracing is on.
+type ActiveSpan struct {
+	t    *Tracer
+	span Span
+	mu   sync.Mutex
+}
+
+// Start opens a span at the current simulated time. On a nil tracer it
+// returns nil, which every ActiveSpan method tolerates.
+func (t *Tracer) Start(layer, name string, parent SpanID) *ActiveSpan {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.nextID++
+	id := t.nextID
+	t.mu.Unlock()
+	return &ActiveSpan{t: t, span: Span{
+		ID:     id,
+		Parent: parent,
+		Layer:  layer,
+		Name:   name,
+		Begin:  t.clock.Now(),
+	}}
+}
+
+// ID returns the span's identifier (0 for nil).
+func (s *ActiveSpan) ID() SpanID {
+	if s == nil {
+		return 0
+	}
+	return s.span.ID
+}
+
+// Annotate attaches a key/value attribute.
+func (s *ActiveSpan) Annotate(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.span.Attrs = append(s.span.Attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// Event records a point-in-time marker at the current simulated time.
+func (s *ActiveSpan) Event(name string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.span.Events = append(s.span.Events, Event{Name: name, At: s.t.clock.Now()})
+	s.mu.Unlock()
+}
+
+// End closes the span at the current simulated time and commits it to the
+// tracer.
+func (s *ActiveSpan) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.span.End = s.t.clock.Now()
+	sp := s.span
+	s.mu.Unlock()
+	s.t.commit(sp)
+}
+
+// Mark records an instantaneous root span — a global timeline marker such
+// as a benchmark phase boundary.
+func (t *Tracer) Mark(layer, name string) {
+	if t == nil {
+		return
+	}
+	sp := t.Start(layer, name, 0)
+	sp.End()
+}
+
+// commit appends a finished span, honouring the retention cap.
+func (t *Tracer) commit(sp Span) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.max > 0 && len(t.spans) >= t.max {
+		t.dropped++
+		return
+	}
+	t.spans = append(t.spans, sp)
+}
+
+// Spans returns a copy of the recorded spans in commit order.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Len returns the retained span count.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Dropped returns the number of spans discarded over the retention cap.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Reset drops every recorded span (the timeline clock keeps running, so a
+// multi-phase harness gets disjoint per-phase traces).
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.spans = nil
+	t.dropped = 0
+}

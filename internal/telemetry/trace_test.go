@@ -1,0 +1,164 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"redbud/internal/sim"
+)
+
+func TestTracerNilSafety(t *testing.T) {
+	var tr *Tracer
+	tr.Advance(100)
+	tr.Mark("phase", "x")
+	sp := tr.Start("disk", "read", 0)
+	sp.Annotate("k", "v")
+	sp.Event("e")
+	sp.End()
+	if sp.ID() != 0 || tr.Now() != 0 || tr.Len() != 0 || tr.Spans() != nil {
+		t.Fatal("nil tracer must be a transparent no-op")
+	}
+}
+
+func TestSpanNestingAndClock(t *testing.T) {
+	tr := NewTracer(nil)
+	root := tr.Start("pfs", "write", 0)
+	tr.Advance(10)
+	child := tr.Start("disk", "read", root.ID())
+	tr.Advance(40)
+	child.End()
+	tr.Advance(5)
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("recorded %d spans, want 2", len(spans))
+	}
+	// Commit order: children end first.
+	c, r := spans[0], spans[1]
+	if c.Parent != r.ID {
+		t.Fatalf("child parent = %d, want %d", c.Parent, r.ID)
+	}
+	if c.Begin != 10 || c.End != 50 || c.Dur() != 40 {
+		t.Fatalf("child interval [%d,%d]", c.Begin, c.End)
+	}
+	if r.Begin != 0 || r.End != 55 {
+		t.Fatalf("root interval [%d,%d]", r.Begin, r.End)
+	}
+	if tr.Now() != sim.Ns(55) {
+		t.Fatalf("clock = %d", tr.Now())
+	}
+}
+
+func TestSpanCapCountsDrops(t *testing.T) {
+	tr := NewTracer(nil)
+	tr.SetMaxSpans(2)
+	for i := 0; i < 5; i++ {
+		tr.Start("disk", "op", 0).End()
+	}
+	if tr.Len() != 2 || tr.Dropped() != 3 {
+		t.Fatalf("len/dropped = %d/%d, want 2/3", tr.Len(), tr.Dropped())
+	}
+	tr.Reset()
+	if tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Fatal("Reset should clear spans and the drop counter")
+	}
+	if tr.Now() == 0 {
+		// The clock keeps running across Reset only if time had passed;
+		// nothing advanced it here, so 0 is correct.
+		tr.Advance(1)
+		if tr.Now() != 1 {
+			t.Fatal("clock must survive Reset")
+		}
+	}
+}
+
+func TestSpanLogRoundTrip(t *testing.T) {
+	tr := NewTracer(nil)
+	sp := tr.Start("ost", "write", 0)
+	sp.Annotate("blocks", "64")
+	tr.Advance(123)
+	sp.Event("positioning")
+	sp.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteSpanLog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSpanLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("round-tripped %d spans, want 1", len(got))
+	}
+	s := got[0]
+	if s.Layer != "ost" || s.Name != "write" || s.Dur() != 123 {
+		t.Fatalf("span = %+v", s)
+	}
+	if len(s.Attrs) != 1 || s.Attrs[0].Key != "blocks" || len(s.Events) != 1 {
+		t.Fatalf("attrs/events lost: %+v", s)
+	}
+
+	if _, err := ReadSpanLog(bytes.NewBufferString(`{"format":"other/9","spans":[]}`)); err == nil {
+		t.Fatal("foreign format must be rejected")
+	}
+}
+
+func TestChromeTraceShape(t *testing.T) {
+	tr := NewTracer(nil)
+	root := tr.Start("pfs", "write", 0)
+	tr.Advance(1000)
+	d := tr.Start("disk", "write", root.ID())
+	tr.Advance(2000)
+	d.Event("positioning")
+	d.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string            `json:"name"`
+			Phase string            `json:"ph"`
+			TS    float64           `json:"ts"`
+			Dur   float64           `json:"dur"`
+			TID   int               `json:"tid"`
+			Args  map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid chrome trace JSON: %v", err)
+	}
+	var meta, complete, instant int
+	tids := make(map[string]int)
+	for _, ev := range doc.TraceEvents {
+		switch ev.Phase {
+		case "M":
+			meta++
+			tids[ev.Args["name"]] = ev.TID
+		case "X":
+			complete++
+		case "i":
+			instant++
+		}
+	}
+	if meta != 2 || complete != 2 || instant != 1 {
+		t.Fatalf("event counts M/X/i = %d/%d/%d", meta, complete, instant)
+	}
+	// Track order follows the IO path: pfs above disk.
+	if tids["pfs"] >= tids["disk"] {
+		t.Fatalf("tid order: pfs=%d disk=%d", tids["pfs"], tids["disk"])
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Phase == "X" && ev.Name == "write" && ev.TID == tids["disk"] {
+			if ev.TS != 1.0 || ev.Dur != 2.0 {
+				t.Fatalf("disk event ts/dur = %g/%g µs, want 1/2", ev.TS, ev.Dur)
+			}
+		}
+	}
+}
