@@ -15,6 +15,7 @@
 //	fig9     file system aging impact (Figure 9)
 //	fig10    PostMark and applications (Figure 10)
 //	ablation design-choice sweeps beyond the paper
+//	defrag   online-defragmentation recovery after aging
 //	all      everything above in order
 //
 // With -telemetry <file>, every data-path mount is instrumented into a
@@ -63,7 +64,7 @@ func instrumented(cfg pfs.Config) pfs.Config {
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mifbench [flags] {fig6a|fig6b|fig7|table1|fig8|fig9|fig10|ablation|all}\n")
+		fmt.Fprintf(os.Stderr, "usage: mifbench [flags] {fig6a|fig6b|fig7|table1|fig8|fig9|fig10|ablation|defrag|all}\n")
 		flag.PrintDefaults()
 	}
 	scale := flag.Float64("scale", 1.0, "workload scale factor (file sizes, file counts)")
@@ -90,8 +91,9 @@ func main() {
 		"fig9":     runFig9,
 		"fig10":    runFig10,
 		"ablation": runAblation,
+		"defrag":   runDefrag,
 	}
-	var order = []string{"fig6a", "fig6b", "fig7", "table1", "fig8", "fig9", "fig10", "ablation"}
+	var order = []string{"fig6a", "fig6b", "fig7", "table1", "fig8", "fig9", "fig10", "ablation", "defrag"}
 	if exp != "all" {
 		if _, ok := runners[exp]; !ok {
 			flag.Usage()

@@ -16,6 +16,7 @@
 //	delete <path>
 //	ls <path>
 //	layout <path>
+//	defrag
 //	report
 //	stats
 //
@@ -271,6 +272,34 @@ func (s *session) exec(out io.Writer, f []string) error {
 		return nil
 	case "stats":
 		return s.reg.WriteText(out)
+	case "defrag":
+		// Migrate every fragmented object into a contiguous reserved
+		// run, printing a per-OST before/after fragmentation report.
+		s.fs.Flush()
+		type snap struct{ objects, extents, ideal int }
+		before := make([]snap, s.fs.OSTs())
+		for i := range before {
+			for _, r := range s.fs.OST(i).FragReportAll() {
+				before[i].objects++
+				before[i].extents += r.Extents
+				before[i].ideal += r.IdealExtents
+			}
+		}
+		st, err := s.fs.Defrag().Run()
+		if err != nil {
+			return err
+		}
+		for i := range before {
+			after := 0
+			for _, r := range s.fs.OST(i).FragReportAll() {
+				after += r.Extents
+			}
+			fmt.Fprintf(out, "ost%d: %d objects, %d extents → %d (ideal %d)\n",
+				i, before[i].objects, before[i].extents, after, before[i].ideal)
+		}
+		fmt.Fprintf(out, "defrag: migrated %d objects, moved %d blocks in %d slices, device busy %.2f ms\n",
+			st.ObjectsMigrated, st.BlocksMoved, st.Slices, sim.Seconds(st.MoveNs)*1e3)
+		return nil
 	default:
 		return fmt.Errorf("unknown op %q", f[0])
 	}

@@ -3,15 +3,18 @@
 //
 // Usage:
 //
-//	miffsck gen [-layout embedded|normal] [-dirs N] [-files N] [-journal-only] <out.img>
+//	miffsck gen [-layout embedded|normal] [-dirs N] [-files N] [-defrag] [-journal-only] <out.img>
 //	miffsck check <image.img>
 //
 // gen formats a file system, populates it (creates, layouts, deletions,
-// renames), and saves the durable state; with -journal-only the final
-// changes are committed to the journal but not checkpointed, producing the
-// crash-consistent image a power failure would leave. check loads an
-// image, replays its journal overlay, walks the namespace from the
-// superblock, and reports every structural inconsistency.
+// renames), and saves the durable state; with -defrag every surviving
+// file's fragmented layout is additionally rewritten as the single
+// coalesced extent a completed defragmentation pass produces; with
+// -journal-only the final changes are committed to the journal but not
+// checkpointed, producing the crash-consistent image a power failure (for
+// -defrag: mid-defragmentation) would leave. check loads an image, replays
+// its journal overlay, walks the namespace from the superblock, and
+// reports every structural inconsistency.
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"os"
 
 	"redbud/internal/extent"
+	"redbud/internal/inode"
 	"redbud/internal/mdfs"
 )
 
@@ -48,6 +52,7 @@ func gen(args []string) {
 	dirs := fs.Int("dirs", 4, "directories to create")
 	files := fs.Int("files", 200, "files per directory")
 	journalOnly := fs.Bool("journal-only", false, "leave the last changes un-checkpointed (crash image)")
+	defrag := fs.Bool("defrag", false, "rewrite every live file's layout as one coalesced extent (a completed defrag pass)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		usage()
@@ -61,6 +66,12 @@ func gen(args []string) {
 	if err != nil {
 		fatal(err)
 	}
+	// fragmented remembers each surviving laid-out file for -defrag.
+	type laidOut struct {
+		ino    inode.Ino
+		blocks int64
+	}
+	var fragmented []laidOut
 	for d := 0; d < *dirs; d++ {
 		dir, err := m.Mkdir(m.Root(), fmt.Sprintf("dir%02d", d))
 		if err != nil {
@@ -73,11 +84,16 @@ func gen(args []string) {
 			}
 			if i%4 == 0 {
 				var exts []extent.Extent
+				var blocks int64
 				for j := 0; j < 8+i%40; j++ {
 					exts = append(exts, extent.Extent{Logical: int64(j) * 2, Physical: int64(d*100000 + i*64 + j*4), Count: 2})
+					blocks += 2
 				}
 				if err := m.SetLayout(ino, exts); err != nil {
 					fatal(err)
+				}
+				if i%9 != 0 { // survives the deletion pass below
+					fragmented = append(fragmented, laidOut{ino: ino, blocks: blocks})
 				}
 			}
 		}
@@ -85,6 +101,22 @@ func gen(args []string) {
 			if err := m.Unlink(dir, fmt.Sprintf("f%05d", i)); err != nil {
 				fatal(err)
 			}
+		}
+	}
+	if *defrag {
+		// Replay the MDS-visible half of a completed defrag pass: every
+		// surviving file's many-extent layout collapses into the single
+		// coalesced extent the migration produced, at a fresh (and
+		// deterministic) physical home. Combined with -journal-only this
+		// is the image a crash right after the defrag commits would
+		// leave: the rewrites live only in the journal.
+		base := int64(10_000_000)
+		for _, f := range fragmented {
+			ext := []extent.Extent{{Logical: 0, Physical: base, Count: f.blocks}}
+			if err := m.SetLayout(f.ino, ext); err != nil {
+				fatal(err)
+			}
+			base += f.blocks
 		}
 	}
 	if *journalOnly {
@@ -104,8 +136,8 @@ func gen(args []string) {
 	if err := m.SaveImage(out); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("wrote %s (%s layout, %d dirs x %d files, journal-only=%v)\n",
-		fs.Arg(0), layout, *dirs, *files, *journalOnly)
+	fmt.Printf("wrote %s (%s layout, %d dirs x %d files, defrag=%v, journal-only=%v)\n",
+		fs.Arg(0), layout, *dirs, *files, *defrag, *journalOnly)
 }
 
 func check(args []string) {

@@ -1,7 +1,10 @@
 // Aging reproduces the paper's Figure 9 scenario as a runnable example:
 // churn a metadata file system to increasing utilization levels and watch
 // what happens to creation and deletion throughput under both directory
-// placements.
+// placements. A second part ages the data path instead and shows the
+// online defragmentation engine undoing the damage: sequential read
+// throughput for the aged layout, the same volume after a defrag pass, and
+// a never-aged baseline.
 package main
 
 import (
@@ -9,6 +12,7 @@ import (
 	"log"
 
 	"redbud/internal/mdfs"
+	"redbud/internal/pfs"
 	"redbud/internal/workload"
 )
 
@@ -26,4 +30,21 @@ func main() {
 	}
 	fmt.Println("\nAging fragments the free space the embedded directory preallocates from,")
 	fmt.Println("hurting creation; deletion is barely compromised, and embedded stays ahead.")
+
+	fmt.Printf("\n%-10s %12s %14s %12s %10s\n", "policy", "aged MB/s", "defragged MB/s", "fresh MB/s", "extents")
+	for _, cfg := range []pfs.Config{
+		pfs.MiF(4).WithPolicy(pfs.PolicyVanilla),
+		pfs.MiF(4),
+	} {
+		res, err := workload.RunDefragBench(cfg, workload.DefaultDefragBenchConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %12.1f %14.1f %12.1f %10s\n",
+			res.Config, res.AgedReadMBps, res.DefraggedReadMBps, res.FreshReadMBps,
+			fmt.Sprintf("%d→%d", res.AgedExtents, res.DefraggedExtents))
+	}
+	fmt.Println("\nData-path aging interleaves files into each other's extents; the defrag")
+	fmt.Println("engine migrates each object into one reserved contiguous run, recovering")
+	fmt.Println("the sequential throughput MiF's on-demand preallocation never lost.")
 }

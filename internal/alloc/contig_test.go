@@ -1,0 +1,79 @@
+package alloc
+
+import (
+	"testing"
+
+	"redbud/internal/telemetry"
+)
+
+func TestFreeContigFreshDevice(t *testing.T) {
+	a := New(1024, 256)
+	st := a.FreeContig()
+	if st.FreeBlocks != 1024 || st.FreeRuns != 1 {
+		t.Fatalf("fresh device: %+v, want one 1024-block run", st)
+	}
+	if st.LargestRun != 1024 || st.LargestStart != 0 {
+		t.Fatalf("largest run = [%d,+%d), want [0,+1024)", st.LargestStart, st.LargestRun)
+	}
+	if st.Hist[10] != 1 { // 1024 = 2^10
+		t.Fatalf("Hist = %v, want the single run in bucket 10", st.Hist)
+	}
+}
+
+func TestFreeContigFragmented(t *testing.T) {
+	a := New(1024, 256)
+	// Punch allocations that split the free space into runs of 100, 199,
+	// and 720 blocks.
+	for _, r := range []Range{{Start: 100, Count: 1}, {Start: 300, Count: 4}} {
+		if err := a.AllocExact(1, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := a.FreeContig()
+	if st.FreeBlocks != 1019 || st.FreeRuns != 3 {
+		t.Fatalf("FreeBlocks=%d FreeRuns=%d, want 1019 free in 3 runs", st.FreeBlocks, st.FreeRuns)
+	}
+	if st.LargestRun != 720 || st.LargestStart != 304 {
+		t.Fatalf("largest run = [%d,+%d), want [304,+720)", st.LargestStart, st.LargestRun)
+	}
+	// 100 → bucket 6, 199 → bucket 7, 720 → bucket 9.
+	if st.Hist[6] != 1 || st.Hist[7] != 1 || st.Hist[9] != 1 {
+		t.Fatalf("Hist = %v", st.Hist)
+	}
+	// Reservations must NOT count as allocated: they are soft.
+	if _, err := a.ReserveNear(2, 304, 720); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.FreeContig(); got.FreeRuns != 3 || got.LargestRun != 720 {
+		t.Fatalf("after reservation: %+v, want contiguity unchanged", got)
+	}
+}
+
+func TestAllocatorInstrument(t *testing.T) {
+	a := New(512, 256)
+	if err := a.AllocExact(1, Range{Start: 0, Count: 32}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.ReserveNear(2, 256, 16); err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	a.Instrument(reg, telemetry.Labels{"ost": "0"})
+	want := map[string]int64{
+		"alloc_free_blocks":      480,
+		"alloc_reserved_blocks":  16,
+		"alloc_free_runs":        1,
+		"alloc_largest_free_run": 480,
+	}
+	for _, m := range reg.Snapshot() {
+		if v, ok := want[m.Name]; ok {
+			if m.Value != v {
+				t.Errorf("%s = %d, want %d", m.Name, m.Value, v)
+			}
+			delete(want, m.Name)
+		}
+	}
+	for name := range want {
+		t.Errorf("metric %s not published", name)
+	}
+}

@@ -1,0 +1,153 @@
+package extent
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestDeleteSplitsMidRange deletes from the middle of one extent and checks
+// both the split pieces left behind and the removed piece returned.
+func TestDeleteSplitsMidRange(t *testing.T) {
+	var m Map
+	if err := m.Insert(Extent{Logical: 0, Physical: 100, Count: 10}); err != nil {
+		t.Fatal(err)
+	}
+	removed := m.Delete(3, 4)
+	if len(removed) != 1 {
+		t.Fatalf("removed = %v, want one piece", removed)
+	}
+	want := Extent{Logical: 3, Physical: 103, Count: 4}
+	if removed[0] != want {
+		t.Fatalf("removed = %v, want %v", removed[0], want)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := m.Extents()
+	if len(got) != 2 {
+		t.Fatalf("extents after split = %v, want two", got)
+	}
+	if got[0] != (Extent{Logical: 0, Physical: 100, Count: 3}) {
+		t.Fatalf("head piece = %v", got[0])
+	}
+	if got[1] != (Extent{Logical: 7, Physical: 107, Count: 3}) {
+		t.Fatalf("tail piece = %v", got[1])
+	}
+	if _, ok := m.Lookup(4); ok {
+		t.Fatal("deleted block still mapped")
+	}
+}
+
+// TestReinsertAfterDelete refills a hole punched by Delete at a different
+// physical location and checks the mapping and merge behaviour.
+func TestReinsertAfterDelete(t *testing.T) {
+	var m Map
+	if err := m.Insert(Extent{Logical: 0, Physical: 100, Count: 10}); err != nil {
+		t.Fatal(err)
+	}
+	m.Delete(3, 4)
+	// Refill elsewhere: must coexist with the split neighbours.
+	if err := m.Insert(Extent{Logical: 3, Physical: 500, Count: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (discontiguous refill cannot merge)", m.Len())
+	}
+	for l, wantPhys := range map[int64]int64{2: 102, 3: 500, 6: 503, 7: 107} {
+		p, ok := m.Lookup(l)
+		if !ok || p != wantPhys {
+			t.Fatalf("Lookup(%d) = %d,%v, want %d", l, p, ok, wantPhys)
+		}
+	}
+	// Refill at the original physical home merges all three back into one.
+	m.Delete(3, 4)
+	if err := m.Insert(Extent{Logical: 3, Physical: 103, Count: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 1 || m.MappedBlocks() != 10 {
+		t.Fatalf("Len = %d mapped = %d, want contiguous refill to merge to one extent",
+			m.Len(), m.MappedBlocks())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNextAt(t *testing.T) {
+	var m Map
+	m.Insert(Extent{Logical: 10, Physical: 100, Count: 5})
+	m.Insert(Extent{Logical: 20, Physical: 300, Count: 5})
+	cases := []struct {
+		from int64
+		want Extent
+		ok   bool
+	}{
+		{0, Extent{Logical: 10, Physical: 100, Count: 5}, true},  // hole: next whole extent
+		{10, Extent{Logical: 10, Physical: 100, Count: 5}, true}, // exact start
+		{12, Extent{Logical: 12, Physical: 102, Count: 3}, true}, // clipped mid-extent
+		{15, Extent{Logical: 20, Physical: 300, Count: 5}, true}, // hole between extents
+		{24, Extent{Logical: 24, Physical: 304, Count: 1}, true}, // last block
+		{25, Extent{}, false}, // past the end
+	}
+	for _, c := range cases {
+		got, ok := m.NextAt(c.from)
+		if ok != c.ok || got != c.want {
+			t.Errorf("NextAt(%d) = %v,%v, want %v,%v", c.from, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+// TestDeleteReinsertProperty drives random delete/reinsert cycles (the
+// defrag commit sequence) and checks the map invariants plus full-coverage
+// mapping survive every round.
+func TestDeleteReinsertProperty(t *testing.T) {
+	fn := func(seed uint16, ops uint8) bool {
+		var m Map
+		const size = 64
+		if err := m.Insert(Extent{Logical: 0, Physical: 0, Count: size}); err != nil {
+			return false
+		}
+		rng := int64(seed)
+		next := func(mod int64) int64 {
+			rng = (rng*6364136223846793005 + 1442695040888963407) & (1<<62 - 1)
+			return rng % mod
+		}
+		phys := int64(1000)
+		for i := 0; i < int(ops%32)+1; i++ {
+			logical := next(size)
+			count := next(size-logical) + 1
+			removed := m.Delete(logical, count)
+			var n int64
+			for _, e := range removed {
+				n += e.Count
+			}
+			if n != count {
+				return false
+			}
+			// Reinsert each removed piece at a fresh physical home,
+			// preserving its logical position — the migration commit.
+			for _, e := range removed {
+				if m.Insert(Extent{Logical: e.Logical, Physical: phys, Count: e.Count, Flags: e.Flags}) != nil {
+					return false
+				}
+				phys += e.Count + 1 // gap prevents accidental merges
+			}
+			if m.Validate() != nil || m.MappedBlocks() != size {
+				return false
+			}
+		}
+		// Every logical block must still resolve somewhere.
+		for l := int64(0); l < size; l++ {
+			if _, ok := m.Lookup(l); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -156,6 +156,24 @@ func (m *Map) LookupRange(logical, count int64) []Extent {
 	return out
 }
 
+// NextAt returns the first mapped piece at or after logical: the extent
+// covering logical clipped to start there, or, when logical falls in a
+// hole, the first whole extent beyond it. ok is false when nothing is
+// mapped at or after logical. The defrag mover walks an object with it,
+// one migration slice at a time, without copying the whole extent list.
+func (m *Map) NextAt(logical int64) (Extent, bool) {
+	i := m.search(logical)
+	if i >= len(m.ext) {
+		return Extent{}, false
+	}
+	e := m.ext[i]
+	if e.Logical < logical {
+		off := logical - e.Logical
+		e = Extent{Logical: logical, Physical: e.Physical + off, Count: e.Count - off, Flags: e.Flags}
+	}
+	return e, true
+}
+
 // Delete removes the mapping of the logical range [logical, logical+count),
 // splitting extents that straddle the boundary, and returns the physical
 // ranges released so the caller can free them.

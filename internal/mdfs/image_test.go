@@ -1,0 +1,100 @@
+package mdfs
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"redbud/internal/extent"
+)
+
+// populate churns a file system the way cmd/miffsck gen does: directories,
+// files, fragmented layouts, and a deletion pass (which frees blocks that
+// were written earlier — the write-then-forget pattern).
+func populateImage(t *testing.T, m *FS) {
+	t.Helper()
+	for d := 0; d < 2; d++ {
+		dir, err := m.Mkdir(m.Root(), fmt.Sprintf("dir%d", d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 40; i++ {
+			ino, err := m.Create(dir, fmt.Sprintf("f%03d", i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i%4 == 0 {
+				var exts []extent.Extent
+				for j := 0; j < 12; j++ {
+					exts = append(exts, extent.Extent{Logical: int64(j) * 2, Physical: int64(d*10000 + i*64 + j*4), Count: 2})
+				}
+				if err := m.SetLayout(ino, exts); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		for i := 0; i < 40; i += 9 {
+			if err := m.Unlink(dir, fmt.Sprintf("f%03d", i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestImageRoundTripJournalOnly saves an image whose last changes live only
+// in the journal overlay (the crash-consistent state) and reloads it. This
+// is a regression test: blocks written then freed within one transaction
+// used to leave nil overlay entries that corrupted the serialized image.
+func TestImageRoundTripJournalOnly(t *testing.T) {
+	for _, layout := range []Layout{LayoutEmbedded, LayoutNormal} {
+		t.Run(layout.String(), func(t *testing.T) {
+			m, err := New(DefaultConfig(layout))
+			if err != nil {
+				t.Fatal(err)
+			}
+			populateImage(t, m)
+			if err := m.Store().Commit(); err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := m.SaveImage(&buf); err != nil {
+				t.Fatal(err)
+			}
+			got, err := LoadImage(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep := got.Fsck()
+			if !rep.Clean() {
+				t.Fatalf("fsck after reload: %v", rep.Problems)
+			}
+			if rep.Files == 0 || rep.Dirs < 2 {
+				t.Fatalf("reloaded namespace too small: %+v", rep)
+			}
+		})
+	}
+}
+
+// TestImageRoundTripCheckpointed is the same walk with everything synced
+// home first.
+func TestImageRoundTripCheckpointed(t *testing.T) {
+	m, err := New(DefaultConfig(LayoutEmbedded))
+	if err != nil {
+		t.Fatal(err)
+	}
+	populateImage(t, m)
+	if err := m.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.SaveImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadImage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := got.Fsck(); !rep.Clean() {
+		t.Fatalf("fsck after reload: %v", rep.Problems)
+	}
+}

@@ -262,7 +262,12 @@ func (s *Store) Commit() error {
 		return err
 	}
 	for _, blk := range s.order {
-		s.dirty[blk] = s.txn[blk]
+		// Skip blocks written then freed within this transaction: they
+		// carry no data, and a nil overlay entry would shadow home and
+		// corrupt saved images.
+		if data, ok := s.txn[blk]; ok {
+			s.dirty[blk] = data
+		}
 	}
 	s.txn = make(map[int64][]byte)
 	s.order = nil

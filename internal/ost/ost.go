@@ -178,6 +178,7 @@ func (s *Server) Instrument(reg *telemetry.Registry, labels telemetry.Labels) {
 	s.mu.Unlock()
 	s.disk.Instrument(reg, labels.With("layer", "disk"))
 	s.sched.Instrument(reg, labels.With("layer", "iosched"))
+	s.alloc.Instrument(reg, labels.With("layer", "alloc"))
 	reg.GaugeFunc("ost_queue_requests", labels, func() int64 {
 		s.mu.Lock()
 		defer s.mu.Unlock()

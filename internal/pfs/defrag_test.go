@@ -1,0 +1,173 @@
+package pfs
+
+import (
+	"fmt"
+	"testing"
+
+	"redbud/internal/core"
+	"redbud/internal/defrag"
+	"redbud/internal/sim"
+	"redbud/internal/telemetry"
+)
+
+// ageMount fragments a mount the way the paper's aging experiment does:
+// interleaved appends from many files under the vanilla policy, so every
+// OST object ends up in alternating extents. Returns the files.
+func ageMount(t *testing.T, fs *FS, files int, rounds, chunk int64) []*File {
+	t.Helper()
+	out := make([]*File, files)
+	for i := range out {
+		f, err := fs.Create(fs.Root(), fmt.Sprintf("aged%d.dat", i), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = f
+	}
+	for r := int64(0); r < rounds; r++ {
+		for i, f := range out {
+			st := core.StreamID{Client: 1, PID: uint32(i + 1)}
+			if err := f.Write(st, r*chunk, chunk); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	fs.Flush()
+	return out
+}
+
+// TestMountDefragEndToEnd exercises the engine through the pfs wiring:
+// aging fragments the files, Run defragments every OST, extent counts drop
+// to the striping minimum, and every byte still reads back verified.
+func TestMountDefragEndToEnd(t *testing.T) {
+	cfg := MiF(4).WithPolicy(PolicyVanilla)
+	cfg.Name = "defrag-e2e"
+	fs, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const files, rounds, chunk = 6, 8, 64 // chunk = stripe unit: round-robin striping
+	fset := ageMount(t, fs, files, rounds, chunk)
+
+	before := 0
+	for _, f := range fset {
+		n, err := fs.TotalExtents(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before += n
+	}
+
+	eng := fs.Defrag()
+	if eng == nil || len(eng.Controllers()) != fs.OSTs() {
+		t.Fatalf("engine wiring: %v, want one controller per OST", eng)
+	}
+	st, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ObjectsMigrated == 0 || st.BlocksMoved == 0 {
+		t.Fatalf("stats = %+v, want migrations on an aged mount", st)
+	}
+
+	after := 0
+	for _, f := range fset {
+		n, err := fs.TotalExtents(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after += n
+		if err := f.Read(0, rounds*chunk); err != nil {
+			t.Fatalf("read after defrag: %v", err)
+		}
+	}
+	if after >= before {
+		t.Fatalf("total extents %d → %d, want a strict reduction", before, after)
+	}
+	for i := 0; i < fs.OSTs(); i++ {
+		if rep := fs.OST(i).CheckConsistency(); !rep.Clean() || rep.LeakedBlocks != 0 {
+			t.Fatalf("ost%d after defrag: leaks=%d problems=%v", i, rep.LeakedBlocks, rep.Problems)
+		}
+	}
+}
+
+// runAgedWorkload ages a mount while optionally interleaving throttled
+// defrag steps between client writes, and returns the foreground write
+// latency histogram. Both arms run the identical write sequence.
+func runAgedWorkload(t *testing.T, name string, steps bool) telemetry.HistSnapshot {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	cfg := MiF(2).WithPolicy(PolicyVanilla)
+	cfg.Name = name
+	dcfg := defrag.DefaultConfig()
+	dcfg.SliceBlocks = 64
+	dcfg.RateBlocksPerSec = 4096
+	cfg.Defrag = &dcfg
+	cfg.Metrics = reg
+	cfg.Trace = telemetry.NewTracer(nil)
+	fs, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := make([]*File, 4)
+	for i := range files {
+		if files[i], err = fs.Create(fs.Root(), fmt.Sprintf("f%d", i), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng := fs.Defrag()
+	for r := int64(0); r < 32; r++ {
+		for i, f := range files {
+			st := core.StreamID{Client: 1, PID: uint32(i + 1)}
+			if err := f.Write(st, r*64, 64); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if steps {
+			// With client writes still queued the mover must yield…
+			if _, err := eng.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		fs.Flush()
+		if steps {
+			// …and once the queues drain it works its token budget off.
+			for k := 0; k < 4; k++ {
+				if _, err := eng.Step(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if r == 8 {
+				// Mid-workload scan: from here on the mover competes
+				// with the foreground stream.
+				eng.ScanAndPlan()
+			}
+		}
+	}
+	if steps {
+		st := eng.Stats()
+		if st.BlocksMoved == 0 {
+			t.Fatal("defrag arm moved nothing; the interference test is vacuous")
+		}
+		if st.Preempted == 0 {
+			t.Fatal("defrag arm was never preempted; foreground yield untested")
+		}
+	}
+	return reg.Histogram("pfs_write_ns", telemetry.Labels{"fs": name, "layer": "pfs"}).Snapshot()
+}
+
+// TestDefragForegroundInterferenceBound is the throttle acceptance test:
+// the p99 foreground write latency with a throttled, preemptible defrag
+// engine running stays within 25% of the identical workload with no defrag
+// at all.
+func TestDefragForegroundInterferenceBound(t *testing.T) {
+	base := runAgedWorkload(t, "nodefrag", false)
+	with := runAgedWorkload(t, "withdefrag", true)
+	if base.Count == 0 || with.Count != base.Count {
+		t.Fatalf("write samples: base %d, with-defrag %d; want identical non-zero counts", base.Count, with.Count)
+	}
+	bound := base.P99 + base.P99/4
+	if with.P99 > bound {
+		t.Fatalf("foreground write p99 with defrag = %v, bound %v (no-defrag p99 %v)",
+			sim.Ns(with.P99), sim.Ns(bound), sim.Ns(base.P99))
+	}
+}

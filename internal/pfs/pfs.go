@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"redbud/internal/core"
+	"redbud/internal/defrag"
 	"redbud/internal/disk"
 	"redbud/internal/extent"
 	"redbud/internal/inode"
@@ -72,6 +73,10 @@ type Config struct {
 	ReservationWindow int64
 	// OnDemand configures the MiF policy.
 	OnDemand core.OnDemandConfig
+	// Defrag, when set, overrides the tuning of the online defragmentation
+	// engine every mount carries (defrag.DefaultConfig otherwise). The
+	// engine is passive until driven through FS.Defrag.
+	Defrag *defrag.Config
 	// Metrics, when set, instruments the mount into the registry at New
 	// time (labeled with the configuration Name). Multiple mounts may share
 	// one registry; their counters sum.
@@ -142,6 +147,7 @@ type FS struct {
 	mds     *mds.Server
 	osts    []*ost.Server
 	fabric  *netsim.Fabric // per-OST FibreChannel data paths
+	defrag  *defrag.Engine // online defragmentation, one controller per OST
 	files   map[inode.Ino]*file
 	nextObj uint64
 
@@ -174,6 +180,11 @@ func New(cfg Config) (*FS, error) {
 	for i := 0; i < cfg.OSTs; i++ {
 		fs.osts = append(fs.osts, ost.NewServer(i, cfg.OST))
 	}
+	dc := defrag.DefaultConfig()
+	if cfg.Defrag != nil {
+		dc = *cfg.Defrag
+	}
+	fs.defrag = defrag.NewEngine(dc, fs.osts...)
 	if cfg.Metrics != nil {
 		fs.Instrument(cfg.Metrics, telemetry.Labels{"fs": cfg.Name})
 	}
@@ -199,6 +210,7 @@ func (fs *FS) Instrument(reg *telemetry.Registry, labels telemetry.Labels) {
 		srv.Instrument(reg, labels.With("layer", "ost").With("ost", fmt.Sprint(i)))
 	}
 	fs.fabric.Instrument(reg, labels.With("layer", "net"))
+	fs.defrag.Instrument(reg, labels.With("layer", "defrag"))
 }
 
 // SetTracer attaches (or with nil detaches) the span tracer to the mount
@@ -211,6 +223,7 @@ func (fs *FS) SetTracer(t *telemetry.Tracer) {
 	for _, srv := range fs.osts {
 		srv.SetTracer(t)
 	}
+	fs.defrag.SetTracer(t)
 }
 
 // Tracer returns the attached tracer (nil when tracing is off).
@@ -285,6 +298,11 @@ func (fs *FS) OST(i int) *ost.Server { return fs.osts[i] }
 
 // OSTs returns the IO server count.
 func (fs *FS) OSTs() int { return len(fs.osts) }
+
+// Defrag returns the mount's online defragmentation engine (one controller
+// per OST). The engine is built at mount time but does nothing until driven
+// — batch tools call Run, a live system interleaves Step with traffic.
+func (fs *FS) Defrag() *defrag.Engine { return fs.defrag }
 
 // Root returns the root directory.
 func (fs *FS) Root() inode.Ino { return fs.mds.Root() }

@@ -1,0 +1,63 @@
+package workload
+
+import (
+	"testing"
+
+	"redbud/internal/pfs"
+)
+
+func TestDefragBenchRecoversAgedThroughput(t *testing.T) {
+	cfg := DefaultDefragBenchConfig()
+	cfg.Files = 4
+	cfg.FileBlocks = 2048
+	res, err := RunDefragBench(pfs.MiF(2).WithPolicy(pfs.PolicyVanilla), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("aged %.1f → defragged %.1f → fresh %.1f MB/s (%.0f%% recovered); extents %d → %d (fresh %d); positionings %d → %d",
+		res.AgedReadMBps, res.DefraggedReadMBps, res.FreshReadMBps, res.RecoveredPercent,
+		res.AgedExtents, res.DefraggedExtents, res.FreshExtents,
+		res.AgedPositionings, res.DefraggedPositionings)
+	if res.BlocksMoved == 0 || res.ObjectsMigrated == 0 {
+		t.Fatalf("engine idle on an aged volume: %+v", res)
+	}
+	if res.DefraggedExtents >= res.AgedExtents {
+		t.Fatalf("extents %d → %d, want a reduction", res.AgedExtents, res.DefraggedExtents)
+	}
+	if res.DefraggedPositionings >= res.AgedPositionings {
+		t.Fatalf("positionings %d → %d, want the defragged scan to seek less",
+			res.AgedPositionings, res.DefraggedPositionings)
+	}
+	if res.DefraggedReadMBps <= res.AgedReadMBps {
+		t.Fatalf("read %.1f → %.1f MB/s, want the defragged scan faster",
+			res.AgedReadMBps, res.DefraggedReadMBps)
+	}
+	if res.RecoveredPercent < 50 {
+		t.Fatalf("recovered only %.0f%% of the aged→fresh gap", res.RecoveredPercent)
+	}
+}
+
+func TestDefragBenchOnMiFFindsLittle(t *testing.T) {
+	// The point of MiF is that aging barely fragments: on-demand
+	// preallocation keeps per-file layouts close to contiguous, so the
+	// same experiment leaves the engine much less to move than vanilla.
+	cfg := DefaultDefragBenchConfig()
+	cfg.Files = 4
+	cfg.FileBlocks = 2048
+	vanilla, err := RunDefragBench(pfs.MiF(2).WithPolicy(pfs.PolicyVanilla), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mif, err := RunDefragBench(pfs.MiF(2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mif.AgedExtents >= vanilla.AgedExtents {
+		t.Fatalf("MiF aged to %d extents, vanilla to %d: prevention should beat repair",
+			mif.AgedExtents, vanilla.AgedExtents)
+	}
+	if mif.AgedReadMBps <= vanilla.AgedReadMBps {
+		t.Fatalf("MiF aged throughput %.1f MB/s should beat vanilla's %.1f before any repair",
+			mif.AgedReadMBps, vanilla.AgedReadMBps)
+	}
+}

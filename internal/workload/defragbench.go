@@ -1,0 +1,235 @@
+package workload
+
+import (
+	"fmt"
+
+	"redbud/internal/core"
+	"redbud/internal/ost"
+	"redbud/internal/pfs"
+	"redbud/internal/sim"
+)
+
+// DefragBenchConfig parameterizes the online-defragmentation recovery
+// experiment: age a volume with interleaved writers (the paper's Figure 1
+// pattern), measure sequential read throughput, run the defrag engine, and
+// measure again against a never-aged baseline.
+type DefragBenchConfig struct {
+	// Files is the number of concurrently-written files; their round-robin
+	// interleaving is what fragments the volume.
+	Files int
+	// FileBlocks is each file's size in blocks.
+	FileBlocks int64
+	// RequestBlocks is the write request size: smaller requests interleave
+	// finer and fragment worse.
+	RequestBlocks int64
+	// ReadRequestBlocks is the sequential read request size.
+	ReadRequestBlocks int64
+}
+
+// DefaultDefragBenchConfig returns a laptop-scale aging shape: 8 files of
+// 16 MiB written in 16 KiB interleaved requests.
+func DefaultDefragBenchConfig() DefragBenchConfig {
+	return DefragBenchConfig{
+		Files:             8,
+		FileBlocks:        4096,
+		RequestBlocks:     4,
+		ReadRequestBlocks: 64,
+	}
+}
+
+// DefragBenchResult reports one recovery run. The three read throughputs
+// are measured over identical sequential scans: on the aged layout, after
+// defragmentation, and on a fresh (never aged) mount of the same
+// configuration.
+type DefragBenchResult struct {
+	Config     string
+	Files      int
+	FileBlocks int64
+
+	AgedReadMBps      float64
+	DefraggedReadMBps float64
+	FreshReadMBps     float64
+	// RecoveredPercent locates the defragmented throughput on the
+	// aged→fresh scale: 0 means no recovery, 100 means fully back to the
+	// un-aged baseline.
+	RecoveredPercent float64
+
+	// Extent totals across all files and positioning counts for the aged
+	// and defragged read scans.
+	AgedExtents      int
+	DefraggedExtents int
+	FreshExtents     int
+
+	AgedPositionings      int64
+	DefraggedPositionings int64
+
+	// Engine work: objects migrated, blocks moved, and the device time
+	// the migration itself consumed.
+	ObjectsMigrated int64
+	BlocksMoved     int64
+	MoveNs          sim.Ns
+}
+
+// seqReadPhase scans every file sequentially and returns the throughput
+// and the device positioning count of the scan. Servers are restarted
+// first so the prefetch cache of a previous phase cannot leak in.
+func seqReadPhase(fs *pfs.FS, files []*pfs.File, cfg DefragBenchConfig) (float64, int64, error) {
+	for i := 0; i < fs.OSTs(); i++ {
+		fs.OST(i).Restart()
+	}
+	fs.ResetDataStats()
+	for _, f := range files {
+		for off := int64(0); off < cfg.FileBlocks; off += cfg.ReadRequestBlocks {
+			n := cfg.ReadRequestBlocks
+			if off+n > cfg.FileBlocks {
+				n = cfg.FileBlocks - off
+			}
+			if err := f.Read(off, n); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	fs.Flush()
+	bytes := int64(cfg.Files) * cfg.FileBlocks * fs.Config().OST.Disk.BlockSize
+	return sim.MBps(bytes, fs.DataBusyMax()), fs.DataStats().Positionings, nil
+}
+
+// ageVolume creates the files and writes them with round-robin interleaved
+// requests, the arrival order that provokes intra-file fragmentation.
+func ageVolume(fs *pfs.FS, cfg DefragBenchConfig) ([]*pfs.File, error) {
+	files := make([]*pfs.File, cfg.Files)
+	for i := range files {
+		f, err := fs.Create(fs.Root(), fmt.Sprintf("aged%02d.dat", i), 0)
+		if err != nil {
+			return nil, err
+		}
+		files[i] = f
+	}
+	for off := int64(0); off < cfg.FileBlocks; off += cfg.RequestBlocks {
+		n := cfg.RequestBlocks
+		if off+n > cfg.FileBlocks {
+			n = cfg.FileBlocks - off
+		}
+		for i, f := range files {
+			st := core.StreamID{Client: uint32(i / 4), PID: uint32(i % 4)}
+			if err := f.Write(st, off, n); err != nil {
+				return nil, err
+			}
+		}
+	}
+	fs.Flush()
+	return files, nil
+}
+
+// totalExtents sums the extent counts of the files.
+func totalExtents(fs *pfs.FS, files []*pfs.File) (int, error) {
+	total := 0
+	for _, f := range files {
+		n, err := fs.TotalExtents(f)
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// RunDefragBench executes the full recovery experiment against fsCfg. It
+// also enforces the defrag contract on every run: after the engine drains,
+// each object's extent count must be no higher than before, and every OST
+// must pass its consistency walk with no leaked blocks — a violation is
+// returned as an error, not a number.
+func RunDefragBench(fsCfg pfs.Config, cfg DefragBenchConfig) (DefragBenchResult, error) {
+	if cfg.Files <= 0 || cfg.FileBlocks <= 0 || cfg.RequestBlocks <= 0 || cfg.ReadRequestBlocks <= 0 {
+		return DefragBenchResult{}, fmt.Errorf("workload: bad defrag bench config %+v", cfg)
+	}
+	res := DefragBenchResult{Config: fsCfg.Name, Files: cfg.Files, FileBlocks: cfg.FileBlocks}
+
+	// Aged arm: interleaved writes, then the degraded sequential scan.
+	fs, err := pfs.New(fsCfg)
+	if err != nil {
+		return res, err
+	}
+	files, err := ageVolume(fs, cfg)
+	if err != nil {
+		return res, err
+	}
+	if res.AgedExtents, err = totalExtents(fs, files); err != nil {
+		return res, err
+	}
+	if res.AgedReadMBps, res.AgedPositionings, err = seqReadPhase(fs, files, cfg); err != nil {
+		return res, err
+	}
+
+	// Defragment, holding each OST's per-object report to enforce the
+	// non-increase contract afterwards.
+	before := make([]map[ost.ObjectID]int, fs.OSTs())
+	for i := 0; i < fs.OSTs(); i++ {
+		before[i] = make(map[ost.ObjectID]int)
+		for _, r := range fs.OST(i).FragReportAll() {
+			before[i][r.Object] = r.Extents
+		}
+	}
+	st, err := fs.Defrag().Run()
+	if err != nil {
+		return res, err
+	}
+	res.ObjectsMigrated = st.ObjectsMigrated
+	res.BlocksMoved = st.BlocksMoved
+	res.MoveNs = st.MoveNs
+	for i := 0; i < fs.OSTs(); i++ {
+		for _, r := range fs.OST(i).FragReportAll() {
+			if prev, ok := before[i][r.Object]; ok && r.Extents > prev {
+				return res, fmt.Errorf("workload: defrag grew ost%d object %d from %d to %d extents",
+					i, r.Object, prev, r.Extents)
+			}
+		}
+		if rep := fs.OST(i).CheckConsistency(); !rep.Clean() || rep.LeakedBlocks != 0 {
+			return res, fmt.Errorf("workload: post-defrag ost%d inconsistent: leaks=%d problems=%v",
+				i, rep.LeakedBlocks, rep.Problems)
+		}
+	}
+	if res.DefraggedExtents, err = totalExtents(fs, files); err != nil {
+		return res, err
+	}
+	if res.DefraggedReadMBps, res.DefraggedPositionings, err = seqReadPhase(fs, files, cfg); err != nil {
+		return res, err
+	}
+
+	// Fresh baseline: the same files written one at a time on a new
+	// mount — the layout aging never happened.
+	freshFS, err := pfs.New(fsCfg)
+	if err != nil {
+		return res, err
+	}
+	fresh := make([]*pfs.File, cfg.Files)
+	for i := range fresh {
+		f, err := freshFS.Create(freshFS.Root(), fmt.Sprintf("fresh%02d.dat", i), 0)
+		if err != nil {
+			return res, err
+		}
+		fresh[i] = f
+		st := core.StreamID{Client: uint32(i / 4), PID: uint32(i % 4)}
+		for off := int64(0); off < cfg.FileBlocks; off += cfg.RequestBlocks {
+			n := cfg.RequestBlocks
+			if off+n > cfg.FileBlocks {
+				n = cfg.FileBlocks - off
+			}
+			if err := f.Write(st, off, n); err != nil {
+				return res, err
+			}
+		}
+	}
+	freshFS.Flush()
+	if res.FreshExtents, err = totalExtents(freshFS, fresh); err != nil {
+		return res, err
+	}
+	if res.FreshReadMBps, _, err = seqReadPhase(freshFS, fresh, cfg); err != nil {
+		return res, err
+	}
+
+	if gap := res.FreshReadMBps - res.AgedReadMBps; gap > 0 {
+		res.RecoveredPercent = 100 * (res.DefraggedReadMBps - res.AgedReadMBps) / gap
+	}
+	return res, nil
+}
