@@ -27,11 +27,15 @@ race:
 	$(GO) test -race ./...
 
 # smoke exercises the built binaries end to end on a small deterministic
-# config: the defrag recovery benchmark, then an offline check of a
-# crash-consistent metadata image saved after a defrag-style rewrite.
+# config: the defrag recovery benchmark, an offline check of a
+# crash-consistent metadata image saved after a defrag-style rewrite, and
+# a trace replay under injected message loss proving every op completes
+# through the rpc retry path.
 smoke:
 	@dir=$$(mktemp -d) && trap 'rm -rf "$$dir"' EXIT && \
-	$(GO) build -o "$$dir" ./cmd/mifbench ./cmd/miffsck && \
+	$(GO) build -o "$$dir" ./cmd/mifbench ./cmd/miffsck ./cmd/miftrace && \
 	"$$dir/mifbench" -scale 0.25 defrag && \
 	"$$dir/miffsck" gen -defrag -journal-only "$$dir/fs.img" && \
-	"$$dir/miffsck" check "$$dir/fs.img"
+	"$$dir/miffsck" check "$$dir/fs.img" && \
+	"$$dir/miftrace" gen -streams 4 -region 128 > "$$dir/t.trace" && \
+	"$$dir/miftrace" replay -drop-rate 0.05 "$$dir/t.trace"

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	miftrace gen -pattern shared|strided|random -streams N -region B > t.trace
-//	miftrace replay [-policy P] [-spans s.json] [-telemetry m.json] <t.trace|->
+//	miftrace replay [-policy P] [-drop-rate R] [-spans s.json] [-telemetry m.json] <t.trace|->
 //	miftrace spans [-o chrome.json] <s.json|->
 //
 // The trace format is defined by internal/trace: one op per line,
@@ -16,6 +16,12 @@
 // -telemetry it writes the mount's metrics-registry snapshot as JSON. The
 // spans subcommand converts a recorded span log into Chrome trace_event
 // JSON for chrome://tracing or Perfetto.
+//
+// With -drop-rate, replay splices the deterministic fault injector into
+// the rpc transport: requests are lost at the given rate (responses at
+// half of it), the client retries with backoff, and the run reports the
+// rpc-layer fault/retry counters — a quick proof that a trace completes
+// under message loss.
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"os"
 
 	"redbud/internal/pfs"
+	"redbud/internal/rpc"
 	"redbud/internal/sim"
 	"redbud/internal/telemetry"
 	"redbud/internal/trace"
@@ -82,6 +89,8 @@ func replay(args []string) {
 	osts := fs.Int("osts", 4, "IO server count")
 	spansOut := fs.String("spans", "", "record per-layer spans and write the span log (JSON) to this file")
 	telemetryOut := fs.String("telemetry", "", "write the metrics-registry snapshot (JSON) to this file")
+	dropRate := fs.Float64("drop-rate", 0, "inject message loss at this rate (0..1); requests drop at the rate, responses at half of it")
+	faultSeed := fs.Uint64("fault-seed", 1, "fault injector seed (with -drop-rate)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		log.Fatal("usage: miftrace replay [flags] <trace|->")
@@ -112,6 +121,10 @@ func replay(args []string) {
 	cfg := pfs.MiF(*osts).WithPolicy(kind)
 	reg := telemetry.NewRegistry()
 	cfg.Metrics = reg
+	if *dropRate > 0 {
+		fault := rpc.UniformFaults(*faultSeed, *dropRate)
+		cfg.RPC.Fault = &fault
+	}
 	var tr *telemetry.Tracer
 	if *spansOut != "" {
 		tr = telemetry.NewTracer(nil)
@@ -169,6 +182,20 @@ func replay(args []string) {
 		*policy, writes, reads, extents, st.Positionings)
 	fmt.Printf("write phase %.2f ms, read phase %.2f ms\n",
 		sim.Seconds(writeNs)*1e3, sim.Seconds(readNs)*1e3)
+	if *dropRate > 0 {
+		sum := func(name string) int64 {
+			var total int64
+			for _, s := range reg.Snapshot() {
+				if s.Name == name {
+					total += s.Value
+				}
+			}
+			return total
+		}
+		fmt.Printf("rpc faults=%d timeouts=%d retries=%d recoveries=%d exhausted=%d\n",
+			sum("rpc_faults"), sum("rpc_timeouts"), sum("rpc_retries"),
+			sum("rpc_recoveries"), sum("rpc_exhausted"))
+	}
 	if *spansOut != "" {
 		writeFile(*spansOut, tr.WriteSpanLog)
 	}

@@ -11,7 +11,6 @@ import (
 	"redbud/internal/extent"
 	"redbud/internal/inode"
 	"redbud/internal/mdfs"
-	"redbud/internal/netsim"
 	"redbud/internal/sim"
 	"redbud/internal/telemetry"
 )
@@ -48,18 +47,19 @@ type Stats struct {
 }
 
 // Server is one metadata server. Like the backing FS it is serialized by
-// the caller (the PFS mount wraps it in a lock).
+// the caller (the PFS mount wraps it in a lock). The server models only
+// its own work — CPU and metadata storage; the network cost of reaching
+// it is charged by the rpc transport that fronts it.
 type Server struct {
 	cfg   Config
 	fs    *mdfs.FS
-	link  *netsim.Link // the GbE path clients reach the MDS over
 	stats Stats
 
-	// rpcHist, when attached, observes the modeled cost (CPU + network
-	// round trip) of every RPC. tracer records per-RPC spans on the
-	// simulated timeline; traceParent is the span of the client operation
-	// currently being serviced (the PFS mount sets it, serialized under
-	// the mount lock like every other MDS access).
+	// rpcHist, when attached, observes the modeled service cost (CPU) of
+	// every RPC. tracer records per-RPC spans on the simulated timeline;
+	// traceParent is the span of the request currently being serviced
+	// (the rpc endpoint sets it, serialized under the mount lock like
+	// every other MDS access).
 	rpcHist     *telemetry.Histogram
 	tracer      *telemetry.Tracer
 	traceParent telemetry.SpanID
@@ -76,7 +76,7 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{cfg: cfg, fs: fs, link: netsim.NewLink(netsim.GbE())}, nil
+	return &Server{cfg: cfg, fs: fs}, nil
 }
 
 // FS exposes the backing metadata file system.
@@ -91,16 +91,14 @@ func (s *Server) ResetStats() { s.stats = Stats{} }
 // Root returns the root directory inode.
 func (s *Server) Root() inode.Ino { return s.fs.Root() }
 
-// rpcBytes is the modeled size of one metadata request/response pair.
-const rpcBytes = 512
-
-// rpc charges the fixed per-request CPU cost and the GbE round trip,
-// observing the total into the RPC histogram and recording a named span
-// when telemetry is attached.
+// rpc charges the fixed per-request CPU cost, observing it into the RPC
+// histogram and recording a named span when telemetry is attached. The
+// network round trip that used to be folded in here is now charged by the
+// rpc transport, outside the server.
 func (s *Server) rpc(name string) {
 	s.stats.RPCs++
 	s.stats.CPUNs += s.cfg.RequestNs
-	cost := s.cfg.RequestNs + s.link.RoundTrip(rpcBytes, rpcBytes)
+	cost := s.cfg.RequestNs
 	if s.rpcHist != nil {
 		s.rpcHist.Observe(cost)
 	}
@@ -113,14 +111,12 @@ func (s *Server) rpc(name string) {
 
 // Instrument publishes the server's counters and a per-RPC latency
 // histogram into the registry, and recursively instruments the components
-// it owns: the client-facing GbE link, the metadata store's disk, and the
-// write-ahead journal.
+// it owns: the metadata store's disk and the write-ahead journal.
 func (s *Server) Instrument(reg *telemetry.Registry, labels telemetry.Labels) {
 	s.rpcHist = reg.Histogram("mds_rpc_ns", labels)
 	reg.CounterFunc("mds_rpcs", labels, func() int64 { return s.stats.RPCs })
 	reg.CounterFunc("mds_extent_ops", labels, func() int64 { return s.stats.ExtentOps })
 	reg.CounterFunc("mds_cpu_ns", labels, func() int64 { return s.stats.CPUNs })
-	s.link.Instrument(reg, labels.With("layer", "net"))
 	store := s.fs.Store()
 	store.Disk().Instrument(reg, labels.With("layer", "disk"))
 	store.Journal().Instrument(reg, labels.With("layer", "journal"))
@@ -132,14 +128,6 @@ func (s *Server) SetTracer(t *telemetry.Tracer) { s.tracer = t }
 // SetTraceParent declares the span under which subsequent RPCs nest; zero
 // clears it.
 func (s *Server) SetTraceParent(id telemetry.SpanID) { s.traceParent = id }
-
-// NetBusy returns the accumulated network time of the MDS fabric — the
-// quantity to max against the disk timeline when folding elapsed time (the
-// network and the disk pipeline).
-func (s *Server) NetBusy() sim.Ns { return s.link.Stats().BusyNs }
-
-// Link exposes the MDS network link for measurement.
-func (s *Server) Link() *netsim.Link { return s.link }
 
 // extentWork charges the CPU cost of n mapping units.
 func (s *Server) extentWork(n int) {

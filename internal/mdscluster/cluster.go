@@ -32,6 +32,8 @@ import (
 	"redbud/internal/inode"
 	"redbud/internal/mdfs"
 	"redbud/internal/mds"
+	"redbud/internal/netsim"
+	"redbud/internal/rpc"
 )
 
 // Distribution selects how directories are assigned to servers.
@@ -62,11 +64,18 @@ type DirRef struct {
 	Ino    inode.Ino
 }
 
-// Cluster is a namespace spread over several metadata servers.
+// Cluster is a namespace spread over several metadata servers. Every
+// member is addressable: server i sits behind an rpc endpoint at "mds<i>"
+// reached over its own GbE link, and all cluster operations go through
+// the typed clients — the same message boundary the single-MDS mount
+// uses.
 type Cluster struct {
 	dist    Distribution
 	mu      sync.Mutex
 	servers []*mds.Server
+	conn    *rpc.Conn
+	clients []*rpc.MDSClient
+	links   []*netsim.Link
 	// dirs maps cluster-visible directory refs to their assignment.
 	nextTop int
 	giants  map[DirRef]*giantDir
@@ -88,7 +97,7 @@ func New(n int, layout mdfs.Layout, dist Distribution) (*Cluster, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("mdscluster: need at least one server")
 	}
-	c := &Cluster{dist: dist, giants: make(map[DirRef]*giantDir)}
+	c := &Cluster{dist: dist, giants: make(map[DirRef]*giantDir), conn: rpc.NewConn(rpc.ClientConfig{})}
 	for i := 0; i < n; i++ {
 		cfg := mds.DefaultConfig(layout)
 		cfg.FS.SyncWrites = true
@@ -97,15 +106,29 @@ func New(n int, layout mdfs.Layout, dist Distribution) (*Cluster, error) {
 			return nil, err
 		}
 		c.servers = append(c.servers, s)
+		addr := Addr(i)
+		link := netsim.NewLink(netsim.GbE())
+		c.conn.Register(addr, rpc.NewMDSEndpoint(addr, s), link)
+		c.clients = append(c.clients, rpc.NewMDSClient(c.conn, addr))
+		c.links = append(c.links, link)
 	}
 	return c, nil
 }
+
+// Addr is member i's endpoint address on the cluster transport.
+func Addr(i int) string { return fmt.Sprintf("mds%d", i) }
 
 // Servers returns the number of member servers.
 func (c *Cluster) Servers() int { return len(c.servers) }
 
 // Server exposes member i for measurement.
 func (c *Cluster) Server(i int) *mds.Server { return c.servers[i] }
+
+// Client exposes the typed rpc client of member i.
+func (c *Cluster) Client(i int) *rpc.MDSClient { return c.clients[i] }
+
+// Link exposes member i's GbE link for measurement.
+func (c *Cluster) Link(i int) *netsim.Link { return c.links[i] }
 
 // RPCs returns the count of server requests the cluster operations issued,
 // including fan-out requests.
@@ -155,10 +178,10 @@ func (c *Cluster) Mkdir(parent DirRef, name string) (DirRef, error) {
 	var ino inode.Ino
 	var err error
 	if owner == parent.Server {
-		ino, err = c.servers[owner].Mkdir(parent.Ino, name)
+		ino, err = c.clients[owner].Mkdir(parent.Ino, name)
 	} else {
 		// Remote placement: the directory body lives on the owner.
-		ino, err = c.servers[owner].Mkdir(c.servers[owner].Root(), fmt.Sprintf("%d.%s", parent.Server, name))
+		ino, err = c.clients[owner].Mkdir(c.servers[owner].Root(), fmt.Sprintf("%d.%s", parent.Server, name))
 		c.rpcs++ // the stub insertion at the parent's server
 	}
 	if err != nil {
@@ -178,12 +201,12 @@ func (c *Cluster) Create(dir DirRef, name string) (inode.Ino, error) {
 		owner := int(hashName(name) % uint64(len(c.servers)))
 		if owner != dir.Server {
 			c.rpcs++
-			if _, err := c.servers[owner].Create(c.servers[owner].Root(), fmt.Sprintf("h%d.%s", dir.Server, name)); err != nil {
+			if _, err := c.clients[owner].Create(c.servers[owner].Root(), fmt.Sprintf("h%d.%s", dir.Server, name)); err != nil {
 				return 0, err
 			}
 		}
 	}
-	return c.servers[dir.Server].Create(dir.Ino, name)
+	return c.clients[dir.Server].Create(dir.Ino, name)
 }
 
 // ReaddirPlus lists a directory with inode contents. Under subtree
@@ -194,18 +217,18 @@ func (c *Cluster) ReaddirPlus(dir DirRef) ([]inode.Inode, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.rpcs++
-	recs, err := c.servers[dir.Server].ReaddirPlus(dir.Ino)
+	recs, err := c.clients[dir.Server].ReaddirPlus(dir.Ino)
 	if err != nil {
 		return nil, err
 	}
 	if c.dist == DistributeHash {
 		// Gather the scattered inode contents.
-		for i, s := range c.servers {
+		for i := range c.clients {
 			if i == dir.Server {
 				continue
 			}
 			c.rpcs++
-			if _, err := s.ReaddirPlus(s.Root()); err != nil {
+			if _, err := c.clients[i].ReaddirPlus(c.servers[i].Root()); err != nil {
 				return nil, err
 			}
 		}
@@ -224,8 +247,10 @@ func (c *Cluster) DiskRequests() int64 {
 
 // Sync flushes every member.
 func (c *Cluster) Sync() error {
-	for _, s := range c.servers {
-		if err := s.Sync(); err != nil {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, cl := range c.clients {
+		if err := cl.Sync(); err != nil {
 			return err
 		}
 	}

@@ -26,7 +26,7 @@ func (c *Cluster) MkGiantDir(parent DirRef, name string) (DirRef, error) {
 		if i != primary {
 			partName = fmt.Sprintf("%s.part%d", name, i)
 		}
-		ino, err := s.Mkdir(s.Root(), partName)
+		ino, err := c.clients[i].Mkdir(s.Root(), partName)
 		if err != nil {
 			return DirRef{}, err
 		}
@@ -51,7 +51,7 @@ func (c *Cluster) GiantCreate(dir DirRef, name string) (inode.Ino, error) {
 	h := hashName(name)
 	owner := int(h % uint64(len(c.servers)))
 	c.rpcs++
-	ino, err := c.servers[owner].Create(gd.parts[owner], name)
+	ino, err := c.clients[owner].Create(gd.parts[owner], name)
 	if err != nil {
 		return 0, err
 	}
@@ -85,14 +85,14 @@ func (c *Cluster) GiantLookup(dir DirRef, name string, indexed bool) (inode.Ino,
 		if owner != gd.primary {
 			c.rpcs++
 		}
-		return c.servers[owner].Lookup(gd.parts[owner], name)
+		return c.clients[owner].Lookup(gd.parts[owner], name)
 	}
 	// Unindexed: broadcast to every partition.
 	var found inode.Ino
 	var ferr error = fmt.Errorf("mdscluster: %q not found (broadcast)", name)
-	for i, s := range c.servers {
+	for i := range c.clients {
 		c.rpcs++
-		if ino, err := s.Lookup(gd.parts[i], name); err == nil {
+		if ino, err := c.clients[i].Lookup(gd.parts[i], name); err == nil {
 			found, ferr = ino, nil
 		}
 	}

@@ -41,6 +41,55 @@ func TestRoundTrip(t *testing.T) {
 	}
 }
 
+func TestRoundTripAsymmetricSizes(t *testing.T) {
+	// A round trip with asymmetric legs costs exactly two latencies plus
+	// each direction's own serialization time — the model behind metadata
+	// cells (512 each way) and one-way data payloads (payload/0).
+	cfg := Config{LatencyNs: 100 * sim.Microsecond, BytesPerSec: 100e6}
+	l := NewLink(cfg)
+	const out, back = 1 << 20, 512
+	got := l.RoundTrip(out, back)
+	want := 2*cfg.LatencyNs +
+		sim.Ns(float64(out)/cfg.BytesPerSec*float64(sim.Second)) +
+		sim.Ns(float64(back)/cfg.BytesPerSec*float64(sim.Second))
+	if got < want-sim.Microsecond || got > want+sim.Microsecond {
+		t.Fatalf("RoundTrip(%d, %d) = %d ns, want ~%d", out, back, got, want)
+	}
+	st := l.Stats()
+	if st.Messages != 2 || st.Bytes != out+back {
+		t.Fatalf("stats = %+v, want 2 messages / %d bytes", st, out+back)
+	}
+	// Reversing the legs costs the same total: direction only decides
+	// which leg pays the serialization.
+	l2 := NewLink(cfg)
+	if rev := l2.RoundTrip(back, out); rev != got {
+		t.Fatalf("reversed legs cost %d ns, forward %d ns", rev, got)
+	}
+}
+
+func TestFabricLinksAreIsolated(t *testing.T) {
+	// Each client owns a point-to-point link: traffic on one link must
+	// not appear in any other's counters.
+	f := NewFabric(FC400(), 4)
+	f.Link(2).Transfer(8e6)
+	f.Link(2).Transfer(1e6)
+	for i := 0; i < 4; i++ {
+		st := f.Link(i).Stats()
+		if i == 2 {
+			if st.Messages != 2 || st.Bytes != 9e6 {
+				t.Fatalf("loaded link stats = %+v", st)
+			}
+			continue
+		}
+		if st != (Stats{}) {
+			t.Fatalf("idle link %d accumulated %+v", i, st)
+		}
+	}
+	if f.MaxBusy() != f.Link(2).Stats().BusyNs {
+		t.Fatal("fabric max busy must come from the only loaded link")
+	}
+}
+
 func TestFabricParallelism(t *testing.T) {
 	f := NewFabric(FC400(), 4)
 	for i := 0; i < 4; i++ {

@@ -22,9 +22,17 @@ import (
 	"redbud/internal/mds"
 	"redbud/internal/netsim"
 	"redbud/internal/ost"
+	"redbud/internal/rpc"
 	"redbud/internal/sim"
 	"redbud/internal/telemetry"
 )
+
+// mdsAddr is the metadata server's address on a single-MDS mount's
+// transport.
+const mdsAddr = "mds"
+
+// ostAddr names IO server i on the mount's transport.
+func ostAddr(i int) string { return fmt.Sprintf("ost%d", i) }
 
 // PolicyKind selects the data-placement policy applied at the IO servers.
 type PolicyKind int
@@ -77,6 +85,10 @@ type Config struct {
 	// engine every mount carries (defrag.DefaultConfig otherwise). The
 	// engine is passive until driven through FS.Defrag.
 	Defrag *defrag.Config
+	// RPC selects the client↔server transport stack: the retry policy
+	// and, when Fault is set, deterministic fault injection. The zero
+	// value is the default fault-free transport.
+	RPC rpc.ClientConfig
 	// Metrics, when set, instruments the mount into the registry at New
 	// time (labeled with the configuration Name). Multiple mounts may share
 	// one registry; their counters sum.
@@ -139,14 +151,22 @@ type file struct {
 	extents  int            // last extent count reported to the MDS
 }
 
-// FS is one mounted Redbud instance.
+// FS is one mounted Redbud instance. All client↔server traffic flows
+// through the rpc connection: typed messages to per-server endpoints over
+// a transport that charges the GbE metadata link and the per-OST
+// FibreChannel fabric. The server handles (mds, osts) remain only for
+// measurement and for the server-local defragmentation engine.
 type FS struct {
 	cfg Config
 
 	mu      sync.Mutex
 	mds     *mds.Server
 	osts    []*ost.Server
+	mdsLink *netsim.Link   // GbE path from clients to the MDS
 	fabric  *netsim.Fabric // per-OST FibreChannel data paths
+	conn    *rpc.Conn      // transport stack: retry → faults → network
+	mdsc    *rpc.MDSClient
+	ostc    []*rpc.OSTClient
 	defrag  *defrag.Engine // online defragmentation, one controller per OST
 	files   map[inode.Ino]*file
 	nextObj uint64
@@ -172,13 +192,23 @@ func New(cfg Config) (*FS, error) {
 		return nil, err
 	}
 	fs := &FS{
-		cfg:    cfg,
-		mds:    srv,
-		fabric: netsim.NewFabric(netsim.FC400(), cfg.OSTs),
-		files:  make(map[inode.Ino]*file),
+		cfg:     cfg,
+		mds:     srv,
+		mdsLink: netsim.NewLink(netsim.GbE()),
+		fabric:  netsim.NewFabric(netsim.FC400(), cfg.OSTs),
+		conn:    rpc.NewConn(cfg.RPC),
+		files:   make(map[inode.Ino]*file),
 	}
 	for i := 0; i < cfg.OSTs; i++ {
 		fs.osts = append(fs.osts, ost.NewServer(i, cfg.OST))
+	}
+	fs.conn.Register(mdsAddr, rpc.NewMDSEndpoint(mdsAddr, srv), fs.mdsLink)
+	fs.mdsc = rpc.NewMDSClient(fs.conn, mdsAddr)
+	factory := fs.policyFactory()
+	for i, osrv := range fs.osts {
+		addr := ostAddr(i)
+		fs.conn.Register(addr, rpc.NewOSTEndpoint(addr, osrv, factory), fs.fabric.Link(i))
+		fs.ostc = append(fs.ostc, rpc.NewOSTClient(fs.conn, addr, cfg.OST.Disk.BlockSize))
 	}
 	dc := defrag.DefaultConfig()
 	if cfg.Defrag != nil {
@@ -205,7 +235,9 @@ func (fs *FS) Instrument(reg *telemetry.Registry, labels telemetry.Labels) {
 	fs.writeHist = reg.Histogram("pfs_write_ns", pl)
 	fs.readHist = reg.Histogram("pfs_read_ns", pl)
 	fs.mu.Unlock()
+	fs.conn.Instrument(reg, labels.With("layer", "rpc"))
 	fs.mds.Instrument(reg, labels.With("layer", "mds"))
+	fs.mdsLink.Instrument(reg, labels.With("layer", "net").With("link", "mds"))
 	for i, srv := range fs.osts {
 		srv.Instrument(reg, labels.With("layer", "ost").With("ost", fmt.Sprint(i)))
 	}
@@ -219,6 +251,7 @@ func (fs *FS) SetTracer(t *telemetry.Tracer) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	fs.tracer = t
+	fs.conn.SetTracer(t)
 	fs.mds.SetTracer(t)
 	for _, srv := range fs.osts {
 		srv.SetTracer(t)
@@ -233,48 +266,26 @@ func (fs *FS) Tracer() *telemetry.Tracer {
 	return fs.tracer
 }
 
-// startOpLocked opens the root "pfs" span of one client operation and points
-// the MDS and IO servers at it so their spans nest underneath. Callers hold
-// fs.mu; a nil tracer makes the whole chain a no-op.
+// startOpLocked opens the root "pfs" span of one client operation and
+// points the rpc connection at it, so every rpc span (and the server and
+// network spans beneath) nests underneath. Callers hold fs.mu; a nil
+// tracer makes the whole chain a no-op.
 func (fs *FS) startOpLocked(name string) *telemetry.ActiveSpan {
 	if fs.tracer == nil {
 		return nil
 	}
 	sp := fs.tracer.Start("pfs", name, 0)
-	fs.setTraceParentLocked(sp.ID())
+	fs.conn.SetTraceParent(sp.ID())
 	return sp
 }
 
-// endOpLocked closes an operation span and clears the servers' trace
-// parents. Callers hold fs.mu.
+// endOpLocked closes an operation span and clears the connection's trace
+// parent. Callers hold fs.mu.
 func (fs *FS) endOpLocked(sp *telemetry.ActiveSpan) {
 	if sp == nil {
 		return
 	}
-	fs.setTraceParentLocked(0)
-	sp.End()
-}
-
-func (fs *FS) setTraceParentLocked(id telemetry.SpanID) {
-	fs.mds.SetTraceParent(id)
-	for _, srv := range fs.osts {
-		srv.SetTraceParent(id)
-	}
-}
-
-// transferTraced charges one fabric transfer to OST ostIdx, recording a
-// "net" span under parent and advancing the trace timeline by its cost.
-// Callers hold fs.mu.
-func (fs *FS) transferTraced(ostIdx int, bytes int64, parent telemetry.SpanID) {
-	if fs.tracer == nil {
-		fs.fabric.Link(ostIdx).Transfer(bytes)
-		return
-	}
-	sp := fs.tracer.Start("net", "transfer", parent)
-	cost := fs.fabric.Link(ostIdx).Transfer(bytes)
-	fs.tracer.Advance(cost)
-	sp.Annotate("ost", fmt.Sprint(ostIdx))
-	sp.Annotate("bytes", fmt.Sprint(bytes))
+	fs.conn.SetTraceParent(0)
 	sp.End()
 }
 
@@ -343,7 +354,7 @@ func (fs *FS) Mkdir(parent inode.Ino, name string) (inode.Ino, error) {
 	defer fs.mu.Unlock()
 	sp := fs.startOpLocked("mkdir")
 	defer fs.endOpLocked(sp)
-	return fs.mds.Mkdir(parent, name)
+	return fs.mdsc.Mkdir(parent, name)
 }
 
 // Create creates a file striped across the IO servers. sizeHintBlocks
@@ -354,29 +365,27 @@ func (fs *FS) Create(parent inode.Ino, name string, sizeHintBlocks int64) (*File
 	defer fs.mu.Unlock()
 	sp := fs.startOpLocked("create")
 	defer fs.endOpLocked(sp)
-	ino, err := fs.mds.Create(parent, name)
+	ino, err := fs.mdsc.Create(parent, name)
 	if err != nil {
 		return nil, err
 	}
 	f := &file{ino: ino, sizeHint: sizeHintBlocks}
-	factory := fs.policyFactory()
 	perOST := fs.componentSizeHint(sizeHintBlocks)
-	for i, srv := range fs.osts {
+	for i := range fs.ostc {
 		id := ost.ObjectID(fs.nextObj + 1)
 		fs.nextObj++
-		if err := srv.CreateObject(id, factory, perOST); err != nil {
+		if err := fs.ostc[i].CreateObject(id, perOST); err != nil {
 			return nil, err
 		}
 		f.objects = append(f.objects, id)
-		_ = i
 	}
 	if fs.cfg.Policy == PolicyStatic && sizeHintBlocks > 0 {
-		for i, srv := range fs.osts {
+		for i := range fs.ostc {
 			n := fs.componentBlocks(sizeHintBlocks, i)
 			if n == 0 {
 				continue
 			}
-			if err := srv.Fallocate(f.objects[i], core.StreamID{}, n); err != nil {
+			if err := fs.ostc[i].Fallocate(f.objects[i], core.StreamID{}, n); err != nil {
 				return nil, err
 			}
 		}
@@ -391,7 +400,7 @@ func (fs *FS) Open(parent inode.Ino, name string) (*File, error) {
 	defer fs.mu.Unlock()
 	sp := fs.startOpLocked("open")
 	defer fs.endOpLocked(sp)
-	ino, _, err := fs.mds.OpenGetLayout(parent, name)
+	ino, _, err := fs.mdsc.OpenGetLayout(parent, name)
 	if err != nil {
 		return nil, err
 	}
@@ -408,20 +417,19 @@ func (fs *FS) Delete(parent inode.Ino, name string) error {
 	defer fs.mu.Unlock()
 	sp := fs.startOpLocked("delete")
 	defer fs.endOpLocked(sp)
-	ino, err := fs.mds.Lookup(parent, name)
+	ino, err := fs.mdsc.LookupResolved(parent, name)
 	if err != nil {
 		return err
 	}
-	ino = fs.mds.FS().Resolve(ino)
-	if err := fs.mds.Unlink(parent, name); err != nil {
+	if err := fs.mdsc.Unlink(parent, name); err != nil {
 		return err
 	}
 	f, ok := fs.files[ino]
 	if !ok {
 		return nil // metadata-only file (no data written)
 	}
-	for i, srv := range fs.osts {
-		if err := srv.Delete(f.objects[i]); err != nil {
+	for i := range fs.ostc {
+		if err := fs.ostc[i].Delete(f.objects[i]); err != nil {
 			return err
 		}
 	}
@@ -492,17 +500,23 @@ func (fs *FS) stripeRange(blk, count int64) []stripePiece {
 	return out
 }
 
-// Flush forces all queued device requests on every IO server.
+// Flush forces all queued device requests on every IO server. Flushes
+// are advisory — a flush RPC lost beyond the retry budget is dropped, not
+// surfaced (the queued requests drain with the next forced flush).
 func (fs *FS) Flush() {
-	for _, srv := range fs.osts {
-		srv.Flush()
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for _, c := range fs.ostc {
+		_, _ = c.Flush()
 	}
 }
 
 // Sync flushes the IO servers and the metadata server.
 func (fs *FS) Sync() error {
 	fs.Flush()
-	return fs.mds.Sync()
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.mdsc.Sync()
 }
 
 // DataBusyMax returns the elapsed time of a data phase executed in
@@ -554,8 +568,8 @@ func (fs *FS) TotalExtents(f *File) (int, error) {
 
 func (fs *FS) totalExtentsLocked(f *file) (int, error) {
 	total := 0
-	for i, srv := range fs.osts {
-		n, err := srv.ExtentCount(f.objects[i])
+	for i := range fs.ostc {
+		n, err := fs.ostc[i].ExtentCount(f.objects[i])
 		if err != nil {
 			return 0, err
 		}
@@ -599,8 +613,7 @@ func (h *File) Write(stream core.StreamID, blk, count int64) error {
 		return err
 	}
 	for _, p := range fs.stripeRange(blk, count) {
-		fs.transferTraced(p.ostIdx, p.count*fs.cfg.OST.Disk.BlockSize, sp.ID())
-		if err := fs.osts[p.ostIdx].Write(h.f.objects[p.ostIdx], stream, p.logical, p.count); err != nil {
+		if err := fs.ostc[p.ostIdx].Write(h.f.objects[p.ostIdx], stream, p.logical, p.count); err != nil {
 			return err
 		}
 	}
@@ -616,7 +629,9 @@ func (h *File) Write(stream core.StreamID, blk, count int64) error {
 	if churn < 0 {
 		churn = -churn
 	}
-	fs.mds.NoteExtentChurn(churn + 1 + after/1024)
+	if err := fs.mdsc.NoteExtentChurn(churn + 1 + after/1024); err != nil {
+		return err
+	}
 	h.f.extents = after
 	return nil
 }
@@ -637,8 +652,7 @@ func (h *File) Read(blk, count int64) error {
 		fs.endOpLocked(sp)
 	}()
 	for _, p := range fs.stripeRange(blk, count) {
-		fs.transferTraced(p.ostIdx, p.count*fs.cfg.OST.Disk.BlockSize, sp.ID())
-		if err := fs.osts[p.ostIdx].Read(h.f.objects[p.ostIdx], p.logical, p.count); err != nil {
+		if err := fs.ostc[p.ostIdx].Read(h.f.objects[p.ostIdx], p.logical, p.count); err != nil {
 			return err
 		}
 	}
@@ -656,8 +670,8 @@ func (h *File) Truncate(sizeBlocks int64) error {
 	defer fs.mu.Unlock()
 	sp := fs.startOpLocked("truncate")
 	defer fs.endOpLocked(sp)
-	for i, srv := range fs.osts {
-		if err := srv.Truncate(h.f.objects[i], fs.componentBlocks(sizeBlocks, i)); err != nil {
+	for i := range fs.ostc {
+		if err := fs.ostc[i].Truncate(h.f.objects[i], fs.componentBlocks(sizeBlocks, i)); err != nil {
 			return err
 		}
 	}
@@ -673,8 +687,8 @@ func (h *File) Fsync() error {
 	defer fs.mu.Unlock()
 	sp := fs.startOpLocked("fsync")
 	defer fs.endOpLocked(sp)
-	for i, srv := range fs.osts {
-		if err := srv.Fsync(h.f.objects[i]); err != nil {
+	for i := range fs.ostc {
+		if err := fs.ostc[i].Fsync(h.f.objects[i]); err != nil {
 			return err
 		}
 	}
@@ -690,11 +704,11 @@ func (h *File) Close() error {
 	sp := fs.startOpLocked("close")
 	defer fs.endOpLocked(sp)
 	var layout []extent.Extent
-	for i, srv := range fs.osts {
-		if err := srv.CloseObject(h.f.objects[i]); err != nil {
+	for i := range fs.ostc {
+		if err := fs.ostc[i].CloseObject(h.f.objects[i]); err != nil {
 			return err
 		}
-		exts, err := srv.Extents(h.f.objects[i])
+		exts, err := fs.ostc[i].Extents(h.f.objects[i])
 		if err != nil {
 			return err
 		}
@@ -713,5 +727,5 @@ func (h *File) Close() error {
 	}
 	all := make([]extent.Extent, 0, len(layout))
 	all = append(all, layout...)
-	return fs.mds.SetLayout(h.f.ino, all)
+	return fs.mdsc.SetLayout(h.f.ino, all)
 }

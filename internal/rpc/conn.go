@@ -1,0 +1,90 @@
+package rpc
+
+import (
+	"sync/atomic"
+
+	"redbud/internal/netsim"
+	"redbud/internal/telemetry"
+)
+
+// ClientConfig selects the transport stack a client mounts with.
+type ClientConfig struct {
+	// Retry overrides the timeout/retry policy (DefaultRetryPolicy when
+	// nil).
+	Retry *RetryPolicy
+	// Fault, when set, splices the deterministic fault injector into the
+	// stack beneath the retry layer.
+	Fault *FaultConfig
+}
+
+// Conn is one client's connection bundle: the assembled transport stack
+// (retry → optional fault injector → network) plus the XID allocator that
+// gives every logical call a transaction identity reused across its
+// retries — the key the endpoints' replay caches deduplicate on.
+type Conn struct {
+	net     *NetTransport
+	top     Transport
+	nextXID atomic.Uint64
+}
+
+// NewConn assembles a connection per the config.
+func NewConn(cfg ClientConfig) *Conn {
+	nt := NewNetTransport()
+	var top Transport = nt
+	if cfg.Fault != nil {
+		top = NewFaultTransport(top, *cfg.Fault)
+	}
+	var policy RetryPolicy
+	if cfg.Retry != nil {
+		policy = *cfg.Retry
+	}
+	top = NewRetryTransport(top, policy)
+	return &Conn{net: nt, top: top}
+}
+
+// Register routes addr to an endpoint over the given link.
+func (c *Conn) Register(addr string, ep Endpoint, link *netsim.Link) {
+	c.net.Register(addr, ep, link)
+}
+
+// SetTracer attaches (or with nil detaches) the span tracer the whole
+// stack charges simulated time against.
+func (c *Conn) SetTracer(t *telemetry.Tracer) { c.net.sh.tracer = t }
+
+// SetTraceParent declares the client-operation span under which the
+// stack's rpc spans nest; zero clears it. Serialized by the mount like
+// every call.
+func (c *Conn) SetTraceParent(id telemetry.SpanID) { c.net.traceParent = id }
+
+// Instrument publishes the layer=rpc metrics: per-op call counters and
+// latency histograms, retry/timeout/recovery counters, fault counters,
+// and per-endpoint replay-cache hits.
+func (c *Conn) Instrument(reg *telemetry.Registry, labels telemetry.Labels) {
+	c.net.sh.m = newMetrics(reg, labels)
+	for addr, rt := range c.net.routes {
+		ep := rt.ep
+		reg.CounterFunc("rpc_replay_hits", labels.With("addr", addr),
+			func() int64 { return ep.ReplayHits() })
+	}
+}
+
+// Call sends one logical request: it allocates the XID and runs the full
+// stack (retries reuse the XID).
+func (c *Conn) Call(addr string, req Request) (Msg, error) {
+	return c.top.Call(addr, c.nextXID.Add(1), req)
+}
+
+// call is the typed client helper: it narrows the response or fails with
+// KindBadRequest on a protocol mismatch.
+func call[T Msg](c *Conn, addr string, req Request) (T, error) {
+	var zero T
+	resp, err := c.Call(addr, req)
+	if err != nil {
+		return zero, err
+	}
+	out, ok := resp.(T)
+	if !ok {
+		return zero, &Error{Op: req.RPCOp(), Addr: addr, Kind: KindBadRequest}
+	}
+	return out, nil
+}

@@ -1,0 +1,77 @@
+package rpc
+
+import "redbud/internal/telemetry"
+
+// Endpoint is one server's dispatcher: the only path from the RPC layer
+// into the server it wraps. Endpoints are serialized by the caller (the
+// PFS mount or MDS cluster lock), like the servers they front.
+type Endpoint interface {
+	// Addr is the endpoint's address on the transport.
+	Addr() string
+	// Serve executes one request. xid is the client-assigned transaction
+	// ID: a retried xid whose original execution completed is answered
+	// from the replay cache without re-executing.
+	Serve(xid uint64, req Request) (Msg, error)
+	// SetTraceParent declares the span under which the server's own spans
+	// nest while serving; zero clears it.
+	SetTraceParent(id telemetry.SpanID)
+	// ReplayHits reports how many requests were answered from the replay
+	// cache.
+	ReplayHits() int64
+}
+
+// replayCacheSize bounds the duplicate-request cache. Retries arrive
+// within a handful of calls of the original, so a small FIFO window is
+// plenty; production DRCs are similarly bounded.
+const replayCacheSize = 1024
+
+// replayEntry is one executed request's recorded outcome.
+type replayEntry struct {
+	resp Msg
+	err  error
+}
+
+// replayCache is the NFS-style duplicate request cache: it records every
+// executed (xid → outcome) pair so a retry of a request whose response was
+// lost returns the original outcome instead of re-executing a
+// non-idempotent operation.
+type replayCache struct {
+	entries map[uint64]replayEntry
+	order   []uint64 // FIFO eviction
+	hits    int64
+}
+
+// newReplayCache builds an empty cache.
+func newReplayCache() *replayCache {
+	return &replayCache{entries: make(map[uint64]replayEntry, replayCacheSize)}
+}
+
+// lookup returns the recorded outcome of xid, if any.
+func (c *replayCache) lookup(xid uint64) (replayEntry, bool) {
+	e, ok := c.entries[xid]
+	if ok {
+		c.hits++
+	}
+	return e, ok
+}
+
+// record stores an executed request's outcome, evicting the oldest entry
+// at capacity.
+func (c *replayCache) record(xid uint64, resp Msg, err error) {
+	if len(c.order) >= replayCacheSize {
+		delete(c.entries, c.order[0])
+		c.order = c.order[1:]
+	}
+	c.entries[xid] = replayEntry{resp: resp, err: err}
+	c.order = append(c.order, xid)
+}
+
+// serveCached wraps a dispatch function with the replay cache.
+func (c *replayCache) serveCached(xid uint64, dispatch func() (Msg, error)) (Msg, error) {
+	if e, ok := c.lookup(xid); ok {
+		return e.resp, e.err
+	}
+	resp, err := dispatch()
+	c.record(xid, resp, err)
+	return resp, err
+}

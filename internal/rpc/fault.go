@@ -1,0 +1,112 @@
+package rpc
+
+import (
+	"sync"
+
+	"redbud/internal/sim"
+)
+
+// FaultRates are the per-op-class injection probabilities.
+type FaultRates struct {
+	// Drop is the probability the request is lost before reaching the
+	// server (the server never executes it).
+	Drop float64
+	// RespDrop is the probability the response is lost after the server
+	// executed the request — the case the endpoints' replay cache exists
+	// for.
+	RespDrop float64
+	// Error is the probability of a transient server/transport failure
+	// (returned as a retriable *Error without executing the request).
+	Error float64
+	// Delay is the probability the exchange is slowed by a uniformly
+	// random extra latency in (0, MaxDelayNs].
+	Delay float64
+	// MaxDelayNs bounds the injected delay.
+	MaxDelayNs sim.Ns
+}
+
+// FaultConfig seeds the deterministic fault injector and sets the rates
+// per op class. All randomness comes from one sim.Rand seeded here —
+// never from global math/rand state — so a faulty run replays
+// bit-identically.
+type FaultConfig struct {
+	Seed    uint64
+	Meta    FaultRates
+	Data    FaultRates
+	Control FaultRates
+}
+
+// UniformFaults is the tooling shorthand: every class drops requests at
+// rate p and responses at p/2, with no errors or delays.
+func UniformFaults(seed uint64, p float64) FaultConfig {
+	r := FaultRates{Drop: p, RespDrop: p / 2}
+	return FaultConfig{Seed: seed, Meta: r, Data: r, Control: r}
+}
+
+// rates returns the class's configured rates.
+func (c *FaultConfig) rates(cl Class) FaultRates {
+	switch cl {
+	case ClassMeta:
+		return c.Meta
+	case ClassData:
+		return c.Data
+	default:
+		return c.Control
+	}
+}
+
+// FaultTransport injects message loss, transient errors, and delays into
+// the transport beneath it, deterministically from the seeded RNG. It
+// draws a fixed number of variates per call, so the fault sequence
+// depends only on the call sequence.
+type FaultTransport struct {
+	next Transport
+	cfg  FaultConfig
+	sh   *shared
+
+	mu  sync.Mutex
+	rng *sim.Rand
+}
+
+// NewFaultTransport wraps next with the configured injector.
+func NewFaultTransport(next Transport, cfg FaultConfig) *FaultTransport {
+	return &FaultTransport{next: next, cfg: cfg, sh: joinStack(next), rng: sim.NewRand(cfg.Seed)}
+}
+
+// sharedState exposes the stack state to decorators.
+func (t *FaultTransport) sharedState() *shared { return t.sh }
+
+// draw samples the per-call variates under the lock (calls are serialized
+// by the mount, but the lock keeps the injector safe under the race
+// detector's eyes too).
+func (t *FaultTransport) draw() (drop, respDrop, errp, delayp, delayFrac float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.rng.Float64(), t.rng.Float64(), t.rng.Float64(), t.rng.Float64(), t.rng.Float64()
+}
+
+// Call injects at most one fault per attempt: request loss, transient
+// error, or response loss, plus an optional delay on exchanges that reach
+// the server.
+func (t *FaultTransport) Call(addr string, xid uint64, req Request) (Msg, error) {
+	r := t.cfg.rates(req.RPCOp().Class())
+	drop, respDrop, errp, delayp, delayFrac := t.draw()
+	if drop < r.Drop {
+		t.sh.m.fault("drop")
+		return nil, &dropError{response: false}
+	}
+	if errp < r.Error {
+		t.sh.m.fault("error")
+		return nil, &Error{Op: req.RPCOp(), Addr: addr, Kind: KindUnavailable}
+	}
+	if delayp < r.Delay && r.MaxDelayNs > 0 {
+		t.sh.m.fault("delay")
+		t.sh.advance(sim.Ns(delayFrac*float64(r.MaxDelayNs)) + 1)
+	}
+	resp, err := t.next.Call(addr, xid, req)
+	if err == nil && respDrop < r.RespDrop {
+		t.sh.m.fault("resp-drop")
+		return nil, &dropError{response: true}
+	}
+	return resp, err
+}

@@ -1,0 +1,109 @@
+package rpc
+
+import "redbud/internal/sim"
+
+// RetryPolicy is the client-side timeout/retry schedule. A lost message
+// costs the caller the RPC timeout on the simulated clock; each re-send
+// waits an exponentially growing backoff. Transient failures (injected
+// errors) retry after the backoff without the timeout charge — the
+// failure came back immediately. Server application errors are never
+// retried.
+type RetryPolicy struct {
+	// TimeoutNs is how long the client waits for a response before
+	// declaring the exchange lost.
+	TimeoutNs sim.Ns
+	// MaxRetries bounds the re-sends after the first attempt.
+	MaxRetries int
+	// BackoffNs is the first retry's wait.
+	BackoffNs sim.Ns
+	// BackoffFactor multiplies the wait after each retry.
+	BackoffFactor float64
+	// MaxBackoffNs caps the wait.
+	MaxBackoffNs sim.Ns
+}
+
+// DefaultRetryPolicy is tuned for the simulated cluster: the timeout
+// comfortably clears the slowest fault-free metadata exchange, and eight
+// doubling retries ride out percent-level loss rates.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		TimeoutNs:     50 * sim.Millisecond,
+		MaxRetries:    8,
+		BackoffNs:     1 * sim.Millisecond,
+		BackoffFactor: 2,
+		MaxBackoffNs:  200 * sim.Millisecond,
+	}
+}
+
+// RetryTransport re-sends lost or transiently failed exchanges with
+// exponential backoff over simulated time.
+type RetryTransport struct {
+	next   Transport
+	policy RetryPolicy
+	sh     *shared
+}
+
+// NewRetryTransport wraps next with the policy (zero-valued fields take
+// the defaults).
+func NewRetryTransport(next Transport, policy RetryPolicy) *RetryTransport {
+	def := DefaultRetryPolicy()
+	if policy.TimeoutNs <= 0 {
+		policy.TimeoutNs = def.TimeoutNs
+	}
+	if policy.MaxRetries <= 0 {
+		policy.MaxRetries = def.MaxRetries
+	}
+	if policy.BackoffNs <= 0 {
+		policy.BackoffNs = def.BackoffNs
+	}
+	if policy.BackoffFactor < 1 {
+		policy.BackoffFactor = def.BackoffFactor
+	}
+	if policy.MaxBackoffNs <= 0 {
+		policy.MaxBackoffNs = def.MaxBackoffNs
+	}
+	return &RetryTransport{next: next, policy: policy, sh: joinStack(next)}
+}
+
+// sharedState exposes the stack state to decorators.
+func (t *RetryTransport) sharedState() *shared { return t.sh }
+
+// Call runs the retry loop. Drops charge the full timeout before the
+// re-send; transient errors re-send after the backoff alone. When the
+// retry budget runs out the call fails with KindTimeout (loss) or
+// KindUnavailable (persistent transient failure).
+func (t *RetryTransport) Call(addr string, xid uint64, req Request) (Msg, error) {
+	p := t.policy
+	backoff := p.BackoffNs
+	for attempt := 0; ; attempt++ {
+		resp, err := t.next.Call(addr, xid, req)
+		if err == nil {
+			if attempt > 0 {
+				t.sh.m.recovery()
+			}
+			return resp, nil
+		}
+		kind := KindUnavailable
+		if _, lost := err.(*dropError); lost {
+			// The message vanished: the client finds out by waiting out
+			// the RPC timeout.
+			t.sh.advance(p.TimeoutNs)
+			t.sh.m.timeout()
+			kind = KindTimeout
+		} else if re, ok := err.(*Error); !ok || !re.Transient() {
+			// Application errors and non-retriable RPC failures pass
+			// through.
+			return resp, err
+		}
+		if attempt >= p.MaxRetries {
+			t.sh.m.exhaust()
+			return nil, &Error{Op: req.RPCOp(), Addr: addr, Kind: kind}
+		}
+		t.sh.m.retry()
+		t.sh.advance(backoff)
+		backoff = sim.Ns(float64(backoff) * p.BackoffFactor)
+		if backoff > p.MaxBackoffNs {
+			backoff = p.MaxBackoffNs
+		}
+	}
+}

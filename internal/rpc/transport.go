@@ -1,0 +1,254 @@
+package rpc
+
+import (
+	"fmt"
+	"sync"
+
+	"redbud/internal/netsim"
+	"redbud/internal/sim"
+	"redbud/internal/telemetry"
+)
+
+// Transport carries one request to an endpoint and its response back.
+// Implementations stack: RetryTransport → FaultTransport → NetTransport.
+// A returned error is either an *Error (RPC-layer failure), a *dropError
+// (internal to the stack, consumed by the retry layer), or a server
+// application error passed through verbatim.
+type Transport interface {
+	Call(addr string, xid uint64, req Request) (Msg, error)
+}
+
+// shared is the state every layer of one transport stack sees: the tracer
+// whose clock the stack advances for network transfers, injected delays,
+// and retry timeouts, and the layer=rpc metrics sink. Decorators copy the
+// pointer at construction, so a tracer or registry attached to the stack
+// later is visible to every layer. With no tracer attached there is no
+// timeline (matching the rest of the system: link/disk busy counters are
+// the only time record), and every advance is a no-op; a nil metrics sink
+// is likewise inert.
+type shared struct {
+	tracer *telemetry.Tracer
+	m      *metrics
+}
+
+// advance moves the simulated clock.
+func (sh *shared) advance(d sim.Ns) {
+	if sh.tracer != nil && d > 0 {
+		sh.tracer.Advance(d)
+	}
+}
+
+// sharedCarrier lets decorators join the stack they wrap.
+type sharedCarrier interface {
+	sharedState() *shared
+}
+
+// joinStack returns next's shared state, or fresh state for a stack built
+// over a foreign transport (tests).
+func joinStack(next Transport) *shared {
+	if sc, ok := next.(sharedCarrier); ok {
+		return sc.sharedState()
+	}
+	return &shared{}
+}
+
+// metrics is the layer=rpc instrumentation sink. A nil *metrics (registry
+// never attached) is valid and inert.
+type metrics struct {
+	reg    *telemetry.Registry
+	labels telemetry.Labels
+
+	mu      sync.Mutex
+	calls   map[Op]*telemetry.Counter
+	errors  map[Op]*telemetry.Counter
+	latency map[Op]*telemetry.Histogram
+	faults  map[string]*telemetry.Counter
+
+	retries    *telemetry.Counter
+	timeouts   *telemetry.Counter
+	recoveries *telemetry.Counter
+	exhausted  *telemetry.Counter
+}
+
+// newMetrics binds the sink to a registry.
+func newMetrics(reg *telemetry.Registry, labels telemetry.Labels) *metrics {
+	return &metrics{
+		reg:        reg,
+		labels:     labels,
+		calls:      make(map[Op]*telemetry.Counter),
+		errors:     make(map[Op]*telemetry.Counter),
+		latency:    make(map[Op]*telemetry.Histogram),
+		faults:     make(map[string]*telemetry.Counter),
+		retries:    reg.Counter("rpc_retries", labels),
+		timeouts:   reg.Counter("rpc_timeouts", labels),
+		recoveries: reg.Counter("rpc_recoveries", labels),
+		exhausted:  reg.Counter("rpc_exhausted", labels),
+	}
+}
+
+// call counts one completed call and, when a duration is known (tracer
+// attached), observes the op latency.
+func (m *metrics) call(op Op, dur sim.Ns, failed bool) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	c := m.calls[op]
+	if c == nil {
+		c = m.reg.Counter("rpc_calls", m.labels.With("op", string(op)))
+		m.calls[op] = c
+	}
+	var e *telemetry.Counter
+	if failed {
+		e = m.errors[op]
+		if e == nil {
+			e = m.reg.Counter("rpc_errors", m.labels.With("op", string(op)))
+			m.errors[op] = e
+		}
+	}
+	var h *telemetry.Histogram
+	if dur >= 0 {
+		h = m.latency[op]
+		if h == nil {
+			h = m.reg.Histogram("rpc_call_ns", m.labels.With("op", string(op)))
+			m.latency[op] = h
+		}
+	}
+	m.mu.Unlock()
+	c.Inc()
+	if e != nil {
+		e.Inc()
+	}
+	if h != nil {
+		h.Observe(dur)
+	}
+}
+
+// fault counts one injected fault by kind (drop, resp-drop, error, delay).
+func (m *metrics) fault(kind string) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	c := m.faults[kind]
+	if c == nil {
+		c = m.reg.Counter("rpc_faults", m.labels.With("kind", kind))
+		m.faults[kind] = c
+	}
+	m.mu.Unlock()
+	c.Inc()
+}
+
+// retry counts one re-sent request.
+func (m *metrics) retry() {
+	if m != nil {
+		m.retries.Inc()
+	}
+}
+
+// timeout counts one request that waited out the full RPC timeout.
+func (m *metrics) timeout() {
+	if m != nil {
+		m.timeouts.Inc()
+	}
+}
+
+// recovery counts one call that failed at least once and then succeeded.
+func (m *metrics) recovery() {
+	if m != nil {
+		m.recoveries.Inc()
+	}
+}
+
+// exhaust counts one call that gave up after the retry budget.
+func (m *metrics) exhaust() {
+	if m != nil {
+		m.exhausted.Inc()
+	}
+}
+
+// route is one registered endpoint and the network link that reaches it.
+type route struct {
+	ep   Endpoint
+	link *netsim.Link
+}
+
+// NetTransport is the default transport: it resolves addresses to
+// registered endpoints, charges each message's wire size to the
+// endpoint's netsim link, dispatches to the endpoint, and records an
+// "rpc" span (with nested "net" transfer spans and the server's own spans
+// beneath it) on the simulated timeline.
+type NetTransport struct {
+	sh          *shared
+	traceParent telemetry.SpanID
+	routes      map[string]*route
+}
+
+// NewNetTransport builds an empty transport; Register adds endpoints.
+func NewNetTransport() *NetTransport {
+	return &NetTransport{sh: &shared{}, routes: make(map[string]*route)}
+}
+
+// sharedState exposes the stack state to decorators.
+func (t *NetTransport) sharedState() *shared { return t.sh }
+
+// Register routes addr to an endpoint over the given link. A nil link
+// means the endpoint is reached for free (tests); wire charging is
+// skipped.
+func (t *NetTransport) Register(addr string, ep Endpoint, link *netsim.Link) {
+	t.routes[addr] = &route{ep: ep, link: link}
+}
+
+// transfer charges one message leg to the link, recording a "net" span
+// under the rpc span and advancing the timeline. Zero-size messages
+// (control plane, ack directions) skip the link entirely.
+func (t *NetTransport) transfer(link *netsim.Link, bytes int64, parent telemetry.SpanID) {
+	if bytes <= 0 || link == nil {
+		return
+	}
+	if t.sh.tracer == nil {
+		link.Transfer(bytes)
+		return
+	}
+	sp := t.sh.tracer.Start("net", "transfer", parent)
+	cost := link.Transfer(bytes)
+	t.sh.tracer.Advance(cost)
+	sp.Annotate("bytes", fmt.Sprint(bytes))
+	sp.End()
+}
+
+// Call sends one request/response exchange: request leg on the wire,
+// endpoint dispatch (server spans nested under the rpc span), response
+// leg on the wire.
+func (t *NetTransport) Call(addr string, xid uint64, req Request) (Msg, error) {
+	rt, ok := t.routes[addr]
+	if !ok {
+		return nil, &Error{Op: req.RPCOp(), Addr: addr, Kind: KindUnavailable}
+	}
+	op := req.RPCOp()
+	var sp *telemetry.ActiveSpan
+	var begin sim.Ns
+	parent := t.traceParent
+	if tr := t.sh.tracer; tr != nil {
+		sp = tr.Start("rpc", string(op), parent)
+		sp.Annotate("addr", addr)
+		begin = tr.Now()
+		parent = sp.ID()
+		rt.ep.SetTraceParent(parent)
+		defer rt.ep.SetTraceParent(0)
+	}
+	t.transfer(rt.link, req.WireSize(), parent)
+	resp, err := rt.ep.Serve(xid, req)
+	respSize := errWireSize(op)
+	if err == nil && resp != nil {
+		respSize = resp.WireSize()
+	}
+	t.transfer(rt.link, respSize, parent)
+	dur := sim.Ns(-1)
+	if tr := t.sh.tracer; tr != nil {
+		dur = tr.Now() - begin
+		sp.End()
+	}
+	t.sh.m.call(op, dur, err != nil)
+	return resp, err
+}
