@@ -27,15 +27,25 @@ race:
 	$(GO) test -race ./...
 
 # smoke exercises the built binaries end to end on a small deterministic
-# config: the defrag recovery benchmark, an offline check of a
-# crash-consistent metadata image saved after a defrag-style rewrite, and
-# a trace replay under injected message loss proving every op completes
-# through the rpc retry path.
+# config: the defrag recovery benchmark, the client-cache benchmark (cache
+# off vs on over the same request sequence), an offline check of a
+# crash-consistent metadata image saved after a defrag-style rewrite, an
+# offline check of an image populated through a client-cached mount (the
+# flush barriers wrote all of its metadata), and a trace replay under
+# injected message loss proving every op completes through the rpc retry
+# path. The duplicated mifbench telemetry runs guard determinism: two
+# identical cache-off invocations must produce byte-identical snapshots.
 smoke:
 	@dir=$$(mktemp -d) && trap 'rm -rf "$$dir"' EXIT && \
 	$(GO) build -o "$$dir" ./cmd/mifbench ./cmd/miffsck ./cmd/miftrace && \
 	"$$dir/mifbench" -scale 0.25 defrag && \
+	"$$dir/mifbench" -scale 0.25 cache && \
+	"$$dir/mifbench" -scale 0.25 -telemetry "$$dir/t1.json" fig6a > /dev/null && \
+	"$$dir/mifbench" -scale 0.25 -telemetry "$$dir/t2.json" fig6a > /dev/null && \
+	cmp "$$dir/t1.json" "$$dir/t2.json" && \
 	"$$dir/miffsck" gen -defrag -journal-only "$$dir/fs.img" && \
 	"$$dir/miffsck" check "$$dir/fs.img" && \
+	"$$dir/miffsck" gen -cache -dirs 2 -files 48 "$$dir/cfs.img" && \
+	"$$dir/miffsck" check "$$dir/cfs.img" && \
 	"$$dir/miftrace" gen -streams 4 -region 128 > "$$dir/t.trace" && \
 	"$$dir/miftrace" replay -drop-rate 0.05 "$$dir/t.trace"

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"fmt"
+
+	"redbud/internal/pfs"
+	"redbud/internal/workload"
+)
+
+// runCache measures the client-side block cache: the Figure 1 aging
+// pattern (interleaved small sequential writers) plus two sequential
+// re-read passes, each profile run with the cache off and on over the same
+// deterministic request sequence. Write-back aggregation coalesces the
+// small writes into few large RPCs (fewer positionings, less
+// fragmentation pressure on the vanilla allocator); the re-read second
+// pass is served from client memory. Each arm measures through its own
+// private registry, so -telemetry snapshots are unaffected by this phase.
+func runCache(scale float64) error {
+	header("Cache: client block cache off vs on (interleaved small writes + re-reads)")
+	cfg := workload.DefaultCacheBenchConfig()
+	cfg.FileBlocks = int64(float64(cfg.FileBlocks) * scale)
+	fmt.Printf("%-10s %-5s %10s %13s %8s %11s %12s %12s\n",
+		"profile", "cache", "write-rpcs", "positionings", "extents", "write", "reread-rpcs", "reread")
+	// positionings = disk head movements summed over all three phases
+	// (write + both re-read passes); reread = second-pass throughput, with
+	// "mem" when every block came from client memory and the disks never
+	// turned.
+	for _, fsCfg := range []pfs.Config{
+		instrumented(pfs.MiF(5).WithPolicy(pfs.PolicyVanilla)),
+		instrumented(pfs.MiF(5)),
+	} {
+		res, err := workload.RunCacheBench(fsCfg, cfg)
+		if err != nil {
+			return err
+		}
+		for _, arm := range []workload.CacheArmResult{res.Off, res.On} {
+			state := "off"
+			if arm.CacheOn {
+				state = "on"
+			}
+			reread := fmt.Sprintf("%6.1f MB/s", arm.Pass2MBps)
+			if arm.Pass2ReadRPCs == 0 && arm.CacheOn {
+				reread = "        mem"
+			}
+			fmt.Printf("%-10s %-5s %10d %13d %8d %6.1f MB/s %12s %s\n",
+				res.Config, state,
+				arm.WriteRPCs, arm.TotalPositionings(), arm.Extents, arm.WriteMBps,
+				fmt.Sprintf("%d→%d", arm.Pass1ReadRPCs, arm.Pass2ReadRPCs), reread)
+		}
+		on := res.On.Cache
+		var coalesce float64
+		if on.Writebacks > 0 {
+			coalesce = float64(on.WritebackBlocks) / float64(on.Writebacks)
+		}
+		fmt.Printf("%-10s cache-on internals: %.0f blocks/write-back, %d hits / %d misses, %d evicted, readahead %d issued / %d used\n",
+			res.Config, coalesce, on.HitBlocks, on.MissBlocks, on.EvictedBlocks, on.ReadaheadIssued, on.ReadaheadUsed)
+	}
+	fmt.Println("write-back aggregation turns interleaved small writes into few large RPCs; re-read pass 2 is served from client memory")
+	return nil
+}

@@ -16,6 +16,7 @@
 //	fig10    PostMark and applications (Figure 10)
 //	ablation design-choice sweeps beyond the paper
 //	defrag   online-defragmentation recovery after aging
+//	cache    client block cache off vs on (write-back aggregation, re-reads)
 //	all      everything above in order
 //
 // With -telemetry <file>, every data-path mount is instrumented into a
@@ -64,7 +65,7 @@ func instrumented(cfg pfs.Config) pfs.Config {
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mifbench [flags] {fig6a|fig6b|fig7|table1|fig8|fig9|fig10|ablation|defrag|all}\n")
+		fmt.Fprintf(os.Stderr, "usage: mifbench [flags] {fig6a|fig6b|fig7|table1|fig8|fig9|fig10|ablation|defrag|cache|all}\n")
 		flag.PrintDefaults()
 	}
 	scale := flag.Float64("scale", 1.0, "workload scale factor (file sizes, file counts)")
@@ -92,8 +93,9 @@ func main() {
 		"fig10":    runFig10,
 		"ablation": runAblation,
 		"defrag":   runDefrag,
+		"cache":    runCache,
 	}
-	var order = []string{"fig6a", "fig6b", "fig7", "table1", "fig8", "fig9", "fig10", "ablation", "defrag"}
+	var order = []string{"fig6a", "fig6b", "fig7", "table1", "fig8", "fig9", "fig10", "ablation", "defrag", "cache"}
 	if exp != "all" {
 		if _, ok := runners[exp]; !ok {
 			flag.Usage()

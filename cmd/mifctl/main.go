@@ -17,8 +17,14 @@
 //	ls <path>
 //	layout <path>
 //	defrag
+//	sync
 //	report
 //	stats
+//
+// With -cache, the mount carries the client-side block cache: writes are
+// absorbed and aggregated client-side until a barrier (`sync`, delete, or
+// an implicit close/truncate) writes them back, and `report` adds a cache
+// line. The layer=cache metrics appear in `stats`.
 //
 // Every mount is instrumented into a telemetry registry; `stats` dumps the
 // live registry (counters, gauges, per-layer latency histograms) as aligned
@@ -46,6 +52,7 @@ import (
 	"strconv"
 	"strings"
 
+	"redbud/internal/cache"
 	"redbud/internal/core"
 	"redbud/internal/inode"
 	"redbud/internal/pfs"
@@ -57,6 +64,7 @@ func main() {
 	policy := flag.String("policy", "on-demand", "placement policy: vanilla|reservation|on-demand|static")
 	layout := flag.String("layout", "embedded", "directory layout: normal|embedded")
 	osts := flag.Int("osts", 4, "number of IO servers")
+	cacheOn := flag.Bool("cache", false, "mount with the client-side block cache (default tuning)")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the session to this file")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -82,6 +90,11 @@ func main() {
 		cfg.MDS = base.MDS
 	}
 	cfg.Name = fmt.Sprintf("%s/%s", *policy, *layout)
+	if *cacheOn {
+		cc := cache.DefaultConfig()
+		cfg.Cache = &cc
+		cfg.Name += "+cache"
+	}
 
 	reg := telemetry.NewRegistry()
 	cfg.Metrics = reg
@@ -261,6 +274,8 @@ func (s *session) exec(out io.Writer, f []string) error {
 			fmt.Fprintln(out)
 		}
 		return nil
+	case "sync":
+		return s.fs.Sync()
 	case "report":
 		s.fs.Flush()
 		st := s.fs.DataStats()
@@ -269,6 +284,11 @@ func (s *session) exec(out io.Writer, f []string) error {
 		m := s.fs.MDS().Stats()
 		fmt.Fprintf(out, "mds:  %d RPCs, %d extent ops, cpu %.2f ms\n",
 			m.RPCs, m.ExtentOps, sim.Seconds(m.CPUNs)*1e3)
+		if c := s.fs.Cache(); c != nil {
+			cs := c.Stats()
+			fmt.Fprintf(out, "cache: %d hits, %d misses, %d dirty, %d cached, %d write-backs (%d blocks), %d evicted\n",
+				cs.HitBlocks, cs.MissBlocks, cs.DirtyBlocks, cs.CachedBlocks, cs.Writebacks, cs.WritebackBlocks, cs.EvictedBlocks)
+		}
 		return nil
 	case "stats":
 		return s.reg.WriteText(out)

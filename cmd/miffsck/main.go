@@ -3,18 +3,22 @@
 //
 // Usage:
 //
-//	miffsck gen [-layout embedded|normal] [-dirs N] [-files N] [-defrag] [-journal-only] <out.img>
+//	miffsck gen [-layout embedded|normal] [-dirs N] [-files N] [-defrag] [-cache] [-journal-only] <out.img>
 //	miffsck check <image.img>
 //
 // gen formats a file system, populates it (creates, layouts, deletions,
 // renames), and saves the durable state; with -defrag every surviving
 // file's fragmented layout is additionally rewritten as the single
 // coalesced extent a completed defragmentation pass produces; with
-// -journal-only the final changes are committed to the journal but not
-// checkpointed, producing the crash-consistent image a power failure (for
-// -defrag: mid-defragmentation) would leave. check loads an image, replays
-// its journal overlay, walks the namespace from the superblock, and
-// reports every structural inconsistency.
+// -cache the population instead runs through a full client-cached Redbud
+// mount (writes absorbed by the client block cache, flushed by the
+// close/truncate/delete/sync barriers), so the image records exactly the
+// metadata those barriers made durable; with -journal-only the final
+// changes are committed to the journal but not checkpointed, producing
+// the crash-consistent image a power failure (for -defrag:
+// mid-defragmentation) would leave. check loads an image, replays its
+// journal overlay, walks the namespace from the superblock, and reports
+// every structural inconsistency.
 package main
 
 import (
@@ -22,9 +26,13 @@ import (
 	"fmt"
 	"os"
 
+	"redbud/internal/cache"
+	"redbud/internal/core"
 	"redbud/internal/extent"
 	"redbud/internal/inode"
 	"redbud/internal/mdfs"
+	"redbud/internal/mds"
+	"redbud/internal/pfs"
 )
 
 func main() {
@@ -53,14 +61,22 @@ func gen(args []string) {
 	files := fs.Int("files", 200, "files per directory")
 	journalOnly := fs.Bool("journal-only", false, "leave the last changes un-checkpointed (crash image)")
 	defrag := fs.Bool("defrag", false, "rewrite every live file's layout as one coalesced extent (a completed defrag pass)")
+	cached := fs.Bool("cache", false, "populate through a client-cached Redbud mount (flush barriers write the metadata)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		usage()
+	}
+	if *cached && *defrag {
+		fatal(fmt.Errorf("-cache and -defrag are mutually exclusive"))
 	}
 
 	layout := mdfs.LayoutEmbedded
 	if *layoutName == "normal" {
 		layout = mdfs.LayoutNormal
+	}
+	if *cached {
+		genCached(layout, *dirs, *files, *journalOnly, fs.Arg(0))
+		return
 	}
 	m, err := mdfs.New(mdfs.DefaultConfig(layout))
 	if err != nil {
@@ -138,6 +154,84 @@ func gen(args []string) {
 	}
 	fmt.Printf("wrote %s (%s layout, %d dirs x %d files, defrag=%v, journal-only=%v)\n",
 		fs.Arg(0), layout, *dirs, *files, *defrag, *journalOnly)
+}
+
+// genCached populates a full client-cached Redbud mount — writes land in
+// the client block cache and reach the servers only through the close,
+// truncate, delete, and sync flush barriers — then saves the MDS metadata
+// image those barriers produced. A clean check of the image proves the
+// barriers leave the metadata file system structurally consistent.
+func genCached(layout mdfs.Layout, dirs, files int, journalOnly bool, out string) {
+	cfg := pfs.MiF(2)
+	cfg.MDS = mds.DefaultConfig(layout)
+	cc := cache.DefaultConfig()
+	cfg.Cache = &cc
+	pf, err := pfs.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	for d := 0; d < dirs; d++ {
+		dir, err := pf.Mkdir(pf.Root(), fmt.Sprintf("dir%02d", d))
+		if err != nil {
+			fatal(err)
+		}
+		for i := 0; i < files; i++ {
+			name := fmt.Sprintf("f%05d", i)
+			h, err := pf.Create(dir, name, 0)
+			if err != nil {
+				fatal(err)
+			}
+			if i%4 == 0 {
+				// Small interleaved-style writes, absorbed by the cache;
+				// every 8th file is truncated while still dirty so the
+				// truncate barrier runs too.
+				stream := core.StreamID{Client: uint32(d), PID: uint32(i % 4)}
+				blocks := int64(16 + i%48)
+				for off := int64(0); off < blocks; off += 4 {
+					n := int64(4)
+					if off+n > blocks {
+						n = blocks - off
+					}
+					if err := h.Write(stream, off, n); err != nil {
+						fatal(err)
+					}
+				}
+				if i%8 == 0 {
+					if err := h.Truncate(blocks / 2); err != nil {
+						fatal(err)
+					}
+				}
+			}
+			if err := h.Close(); err != nil {
+				fatal(err)
+			}
+		}
+		for i := 0; i < files; i += 9 {
+			if err := pf.Delete(dir, fmt.Sprintf("f%05d", i)); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	m := pf.MDS().FS()
+	if journalOnly {
+		if err := m.Store().Commit(); err != nil {
+			fatal(err)
+		}
+	} else {
+		if err := pf.Sync(); err != nil {
+			fatal(err)
+		}
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := m.SaveImage(f); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%s layout, %d dirs x %d files, via client-cached mount, journal-only=%v)\n",
+		out, layout, dirs, files, journalOnly)
 }
 
 func check(args []string) {

@@ -1,0 +1,358 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+
+	"redbud/internal/core"
+)
+
+// call records one backing-store invocation.
+type call struct {
+	write      bool
+	f          FileID
+	blk, count int64
+}
+
+func (c call) String() string {
+	kind := "fetch"
+	if c.write {
+		kind = "writeback"
+	}
+	return fmt.Sprintf("%s(f=%d,[%d,+%d))", kind, c.f, c.blk, c.count)
+}
+
+// fakeStore records every backing-store call.
+type fakeStore struct {
+	calls []call
+	fail  error
+}
+
+func (s *fakeStore) WriteBack(f FileID, _ core.StreamID, blk, count int64) error {
+	s.calls = append(s.calls, call{write: true, f: f, blk: blk, count: count})
+	return s.fail
+}
+
+func (s *fakeStore) Fetch(f FileID, blk, count int64) error {
+	s.calls = append(s.calls, call{write: false, f: f, blk: blk, count: count})
+	return s.fail
+}
+
+func (s *fakeStore) fetches() []call {
+	var out []call
+	for _, c := range s.calls {
+		if !c.write {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func (s *fakeStore) writebacks() []call {
+	var out []call
+	for _, c := range s.calls {
+		if c.write {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func mustNil(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleBlockWritesFlushAsOneRun(t *testing.T) {
+	st := &fakeStore{}
+	c := New(Config{}, st)
+	for i := int64(0); i < 16; i++ {
+		mustNil(t, c.Write(1, core.StreamID{}, i, 1))
+	}
+	if len(st.calls) != 0 {
+		t.Fatalf("writes must be absorbed without RPCs, got %v", st.calls)
+	}
+	mustNil(t, c.FlushFile(1))
+	wb := st.writebacks()
+	if len(wb) != 1 || wb[0] != (call{write: true, f: 1, blk: 0, count: 16}) {
+		t.Fatalf("16 adjacent dirty blocks must flush as one run, got %v", wb)
+	}
+	s := c.Stats()
+	if s.Writebacks != 1 || s.WritebackBlocks != 16 {
+		t.Fatalf("stats = %+v, want 1 writeback of 16 blocks", s)
+	}
+	if s.DirtyBlocks != 0 || s.CachedBlocks != 16 {
+		t.Fatalf("after flush: dirty=%d cached=%d, want 0/16 (blocks stay clean-cached)", s.DirtyBlocks, s.CachedBlocks)
+	}
+}
+
+func TestSparseDirtyRunsFlushSeparately(t *testing.T) {
+	st := &fakeStore{}
+	c := New(Config{}, st)
+	mustNil(t, c.Write(7, core.StreamID{}, 0, 2))
+	mustNil(t, c.Write(7, core.StreamID{}, 8, 2))
+	mustNil(t, c.FlushFile(7))
+	wb := st.writebacks()
+	want := []call{
+		{write: true, f: 7, blk: 0, count: 2},
+		{write: true, f: 7, blk: 8, count: 2},
+	}
+	if len(wb) != 2 || wb[0] != want[0] || wb[1] != want[1] {
+		t.Fatalf("sparse runs must flush separately in ascending order, got %v", wb)
+	}
+}
+
+func TestOverlappingWritesStayOneRun(t *testing.T) {
+	st := &fakeStore{}
+	c := New(Config{}, st)
+	mustNil(t, c.Write(1, core.StreamID{}, 0, 4))
+	mustNil(t, c.Write(1, core.StreamID{}, 2, 4))
+	if got := c.Stats().DirtyBlocks; got != 6 {
+		t.Fatalf("dirty = %d, want 6 (re-dirtied blocks not double-counted)", got)
+	}
+	mustNil(t, c.FlushFile(1))
+	if wb := st.writebacks(); len(wb) != 1 || wb[0].count != 6 {
+		t.Fatalf("overlapping writes must flush as one run, got %v", wb)
+	}
+}
+
+func TestReadYourWritesCostsNoRPC(t *testing.T) {
+	st := &fakeStore{}
+	c := New(Config{}, st)
+	mustNil(t, c.Write(1, core.StreamID{}, 0, 8))
+	mustNil(t, c.Read(1, 0, 8))
+	mustNil(t, c.Read(1, 3, 2))
+	if len(st.calls) != 0 {
+		t.Fatalf("reads of dirty data must be served from cache, got %v", st.calls)
+	}
+	s := c.Stats()
+	if s.HitBlocks != 10 || s.MissBlocks != 0 {
+		t.Fatalf("hits=%d misses=%d, want 10/0", s.HitBlocks, s.MissBlocks)
+	}
+}
+
+func TestDirtyHighWaterWritesBackOldestRun(t *testing.T) {
+	st := &fakeStore{}
+	c := New(Config{DirtyHighWater: 4, CapacityBlocks: 100, ReadAheadBlocks: -1}, st)
+	mustNil(t, c.Write(1, core.StreamID{}, 0, 4)) // at the mark: no write-back
+	if len(st.calls) != 0 {
+		t.Fatalf("at high water nothing flushes, got %v", st.calls)
+	}
+	mustNil(t, c.Write(1, core.StreamID{}, 10, 1)) // over: oldest run drains
+	wb := st.writebacks()
+	if len(wb) != 1 || wb[0] != (call{write: true, f: 1, blk: 0, count: 4}) {
+		t.Fatalf("over high water the oldest run must drain, got %v", wb)
+	}
+	if got := c.Stats().DirtyBlocks; got != 1 {
+		t.Fatalf("dirty = %d, want 1 (only the new block)", got)
+	}
+}
+
+func TestCapacityEvictsLRUAndRefetches(t *testing.T) {
+	st := &fakeStore{}
+	c := New(Config{CapacityBlocks: 4, DirtyHighWater: 4, ReadAheadBlocks: -1}, st)
+	mustNil(t, c.Write(1, core.StreamID{}, 0, 4))
+	mustNil(t, c.Write(1, core.StreamID{}, 4, 1))
+	// Dirty count 5 exceeded the (capacity-clamped) high water: the whole
+	// adjacent run [0,5) drained as one write-back, then block 0 — the
+	// least recently used — was evicted to fit capacity.
+	if wb := st.writebacks(); len(wb) != 1 || wb[0].blk != 0 || wb[0].count != 5 {
+		t.Fatalf("writebacks = %v, want one [0,+5)", wb)
+	}
+	s := c.Stats()
+	if s.EvictedBlocks != 1 || s.CachedBlocks != 4 {
+		t.Fatalf("evicted=%d cached=%d, want 1/4", s.EvictedBlocks, s.CachedBlocks)
+	}
+	// The evicted block is gone: re-reading it refetches from the store.
+	mustNil(t, c.Read(1, 0, 1))
+	if f := st.fetches(); len(f) != 1 || f[0] != (call{f: 1, blk: 0, count: 1}) {
+		t.Fatalf("evicted block must refetch, got %v", f)
+	}
+	// The surviving blocks still hit.
+	mustNil(t, c.Read(1, 2, 3))
+	if f := st.fetches(); len(f) != 1 {
+		t.Fatalf("resident blocks must not refetch, got %v", f)
+	}
+}
+
+func TestDirtyVictimWritesBackBeforeEviction(t *testing.T) {
+	st := &fakeStore{}
+	// High water = capacity: eviction, not the high-water mark, is what
+	// forces the dirty victim out.
+	c := New(Config{CapacityBlocks: 4, DirtyHighWater: 100, ReadAheadBlocks: -1}, st)
+	mustNil(t, c.Write(1, core.StreamID{}, 0, 1))
+	mustNil(t, c.Write(1, core.StreamID{}, 10, 4))
+	// Capacity 4 forces block 0 (LRU tail, dirty) out: its run must be
+	// written back first — dirty data is never silently dropped.
+	wb := st.writebacks()
+	if len(wb) != 1 || wb[0] != (call{write: true, f: 1, blk: 0, count: 1}) {
+		t.Fatalf("dirty victim must write back before eviction, got %v", wb)
+	}
+	if got := c.Stats().DirtyBlocks; got != 4 {
+		t.Fatalf("dirty = %d, want 4", got)
+	}
+}
+
+func TestReadaheadArmsAfterSequentialRun(t *testing.T) {
+	st := &fakeStore{}
+	c := New(Config{CapacityBlocks: 16, DirtyHighWater: 16, ReadAheadBlocks: 8, SequentialThreshold: 4}, st)
+	// Make [0,64) known to the cache, then push everything but the tail
+	// out (capacity 16 keeps [48,64)).
+	mustNil(t, c.Write(1, core.StreamID{}, 0, 64))
+	st.calls = nil
+
+	// A cold sequential reader: the first read is below the threshold and
+	// fetches exactly what was asked.
+	mustNil(t, c.Read(1, 0, 2))
+	if f := st.fetches(); len(f) != 1 || f[0].count != 2 {
+		t.Fatalf("below threshold no readahead, got %v", f)
+	}
+	// The second read proves the stream sequential (run=4 >= threshold):
+	// its miss is extended through the window.
+	mustNil(t, c.Read(1, 2, 2))
+	f := st.fetches()
+	if len(f) != 2 || f[1] != (call{f: 1, blk: 2, count: 6}) {
+		t.Fatalf("armed reader must extend the miss, got %v", f)
+	}
+	if got := c.Stats().ReadaheadIssued; got != 4 {
+		t.Fatalf("ReadaheadIssued = %d, want 4", got)
+	}
+	// The prefetched blocks serve the next read as pure hits and count
+	// used; a fully-hitting read on a still-sequential stream keeps
+	// prefetching ahead with the grown (run=8) window.
+	mustNil(t, c.Read(1, 4, 4))
+	f = st.fetches()
+	if len(f) != 3 || f[2] != (call{f: 1, blk: 8, count: 8}) {
+		t.Fatalf("fetches = %v, want third = prefetch [8,+8)", f)
+	}
+	s := c.Stats()
+	if s.ReadaheadUsed != 4 {
+		t.Fatalf("ReadaheadUsed = %d, want 4", s.ReadaheadUsed)
+	}
+	if s.ReadaheadIssued != 12 {
+		t.Fatalf("ReadaheadIssued = %d, want 12 (4 extended + 8 ahead)", s.ReadaheadIssued)
+	}
+}
+
+func TestReadaheadNeverReadsAHole(t *testing.T) {
+	st := &fakeStore{}
+	c := New(Config{ReadAheadBlocks: 64, SequentialThreshold: 1}, st)
+	// A sparse file: [0,2) and [8,10) exist, [2,8) is a hole.
+	mustNil(t, c.Write(1, core.StreamID{}, 0, 2))
+	mustNil(t, c.Write(1, core.StreamID{}, 8, 2))
+	mustNil(t, c.FlushFile(1))
+	st.calls = nil
+	// A fully-hitting sequential read wants to prefetch ahead, but block
+	// 2 is a hole: the window clamps to known-written ranges and nothing
+	// is fetched.
+	mustNil(t, c.Read(1, 0, 2))
+	if len(st.calls) != 0 {
+		t.Fatalf("readahead crossed into a hole: %v", st.calls)
+	}
+	if got := c.Stats().ReadaheadIssued; got != 0 {
+		t.Fatalf("ReadaheadIssued = %d, want 0", got)
+	}
+}
+
+func TestReadaheadOverwrittenBeforeUseCountsWasted(t *testing.T) {
+	st := &fakeStore{}
+	c := New(Config{CapacityBlocks: 8, DirtyHighWater: 8, ReadAheadBlocks: 4, SequentialThreshold: 1}, st)
+	mustNil(t, c.Write(1, core.StreamID{}, 0, 16)) // [8,16) stays cached
+	mustNil(t, c.FlushFile(1))
+	// The adaptive window matches the observed run (4): the miss [0,4)
+	// extends into a fetch of [0,8).
+	mustNil(t, c.Read(1, 0, 4))
+	if got := c.Stats().ReadaheadIssued; got != 4 {
+		t.Fatalf("ReadaheadIssued = %d, want 4", got)
+	}
+	// Overwriting prefetched blocks before any read referenced them means
+	// the prefetch was wasted.
+	mustNil(t, c.Write(1, core.StreamID{}, 4, 4))
+	if got := c.Stats().ReadaheadWasted; got != 4 {
+		t.Fatalf("ReadaheadWasted = %d, want 4", got)
+	}
+}
+
+func TestFlushOrderIsDeterministic(t *testing.T) {
+	want := []call{
+		{write: true, f: 1, blk: 0, count: 2},
+		{write: true, f: 1, blk: 6, count: 1},
+		{write: true, f: 2, blk: 3, count: 2},
+		{write: true, f: 9, blk: 100, count: 4},
+	}
+	for round := 0; round < 5; round++ {
+		st := &fakeStore{}
+		c := New(Config{}, st)
+		// Dirty three files in an order unrelated to the flush order.
+		mustNil(t, c.Write(9, core.StreamID{}, 100, 4))
+		mustNil(t, c.Write(1, core.StreamID{}, 6, 1))
+		mustNil(t, c.Write(2, core.StreamID{}, 3, 2))
+		mustNil(t, c.Write(1, core.StreamID{}, 0, 2))
+		mustNil(t, c.Flush())
+		wb := st.writebacks()
+		if len(wb) != len(want) {
+			t.Fatalf("round %d: writebacks %v, want %v", round, wb, want)
+		}
+		for i := range want {
+			if wb[i] != want[i] {
+				t.Fatalf("round %d: writeback[%d] = %v, want %v (flush order must be deterministic)", round, i, wb[i], want[i])
+			}
+		}
+	}
+}
+
+func TestTruncateDropsTailWithoutWriteback(t *testing.T) {
+	st := &fakeStore{}
+	c := New(Config{ReadAheadBlocks: 64, SequentialThreshold: 1}, st)
+	mustNil(t, c.Write(1, core.StreamID{}, 0, 8))
+	c.Truncate(1, 4)
+	mustNil(t, c.FlushFile(1))
+	wb := st.writebacks()
+	if len(wb) != 1 || wb[0] != (call{write: true, f: 1, blk: 0, count: 4}) {
+		t.Fatalf("truncated tail must not write back, got %v", wb)
+	}
+	// The tail is no longer known-written: a fully-hitting read of the
+	// head must not prefetch past the new EOF.
+	st.calls = nil
+	mustNil(t, c.Read(1, 0, 4))
+	if len(st.calls) != 0 {
+		t.Fatalf("prefetch crossed truncated EOF: %v", st.calls)
+	}
+}
+
+func TestDropDiscardsEverything(t *testing.T) {
+	st := &fakeStore{}
+	c := New(Config{}, st)
+	mustNil(t, c.Write(1, core.StreamID{}, 0, 8))
+	mustNil(t, c.Write(2, core.StreamID{}, 0, 4))
+	c.Drop(1)
+	mustNil(t, c.Flush())
+	wb := st.writebacks()
+	if len(wb) != 1 || wb[0].f != 2 {
+		t.Fatalf("dropped file must not write back, got %v", wb)
+	}
+	s := c.Stats()
+	if s.CachedBlocks != 4 || s.DirtyBlocks != 0 {
+		t.Fatalf("cached=%d dirty=%d, want 4/0", s.CachedBlocks, s.DirtyBlocks)
+	}
+}
+
+func TestStoreErrorsPropagate(t *testing.T) {
+	st := &fakeStore{fail: fmt.Errorf("boom")}
+	c := New(Config{}, st)
+	mustNil(t, c.Write(1, core.StreamID{}, 0, 4)) // absorbed, no RPC yet
+	if err := c.FlushFile(1); err == nil {
+		t.Fatal("write-back failure must surface from FlushFile")
+	}
+	if err := c.Read(1, 100, 1); err == nil {
+		t.Fatal("fetch failure must surface from Read")
+	}
+	if err := c.Write(1, core.StreamID{}, -1, 1); err == nil {
+		t.Fatal("negative offset must be rejected")
+	}
+	if err := c.Read(1, 0, 0); err == nil {
+		t.Fatal("empty read must be rejected")
+	}
+}

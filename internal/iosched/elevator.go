@@ -154,21 +154,23 @@ func (e *Elevator) Schedule(reqs []Request) []Request {
 	return out
 }
 
-// appendMerged appends the sorted window to out, merging adjacent requests.
-// firstNew marks where this window begins in out so merging never reaches
-// into a previous window (a real elevator cannot merge with a request it has
-// already dispatched).
+// appendMerged appends the sorted window to out, merging adjacent and
+// overlapping requests. firstNew marks where this window begins in out so
+// merging never reaches into a previous window (a real elevator cannot
+// merge with a request it has already dispatched).
 func appendMerged(out, window []Request, st *Stats, firstNew int) []Request {
 	for _, r := range window {
 		if n := len(out); n > firstNew {
 			last := &out[n-1]
-			if last.Write == r.Write && last.End() == r.Start {
-				last.Count += r.Count
-				st.Merged++
-				continue
-			}
-			// Fully overlapping duplicate reads collapse too.
-			if last.Write == r.Write && r.Start >= last.Start && r.End() <= last.End() {
+			// The window is sorted, so r.Start >= last.Start. Any request
+			// touching or overlapping the previous one merges: adjacent
+			// requests concatenate, contained duplicates collapse, and a
+			// partial overlap is trimmed into a front merge — the disk
+			// must not be charged twice for the overlapped blocks.
+			if last.Write == r.Write && r.Start <= last.End() {
+				if r.End() > last.End() {
+					last.Count = r.End() - last.Start
+				}
 				st.Merged++
 				continue
 			}

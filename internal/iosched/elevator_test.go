@@ -82,6 +82,52 @@ func TestDuplicateContainedRequestCollapses(t *testing.T) {
 	}
 }
 
+// TestPartialOverlapFrontMerges is the regression test for the
+// double-charge bug: a partially overlapping same-direction request used to
+// be appended verbatim, billing the disk twice for the overlapped blocks. A
+// real elevator trims the overlap into a front merge; the dispatched total
+// must equal the union of the requested ranges.
+func TestPartialOverlapFrontMerges(t *testing.T) {
+	e := NewElevator(0)
+	got := e.Schedule([]Request{
+		{Start: 0, Count: 7, Write: false},
+		{Start: 5, Count: 5, Write: false},
+	})
+	want := Request{Start: 0, Count: 10, Write: false}
+	if len(got) != 1 || got[0] != want {
+		t.Fatalf("partial overlap dispatched %v, want one merged %v", got, want)
+	}
+	if st := e.Stats(); st.Merged != 1 {
+		t.Fatalf("Merged = %d, want 1 (overlap trim counts as a merge)", st.Merged)
+	}
+
+	// Chained overlaps keep collapsing, and the serviced block total stays
+	// exactly the union: [0,7) ∪ [5,10) ∪ [9,20) ∪ [30,35) = 25 blocks.
+	e = NewElevator(0)
+	var total int64
+	for _, r := range e.Schedule([]Request{
+		{Start: 9, Count: 11, Write: true},
+		{Start: 0, Count: 7, Write: true},
+		{Start: 30, Count: 5, Write: true},
+		{Start: 5, Count: 5, Write: true},
+	}) {
+		total += r.Count
+	}
+	if total != 25 {
+		t.Fatalf("serviced %d blocks, want union = 25 (overlap double-charged)", total)
+	}
+
+	// Overlapping requests of opposite direction must NOT merge: the write
+	// and the read are distinct transfers.
+	e = NewElevator(0)
+	if got := e.Schedule([]Request{
+		{Start: 0, Count: 7, Write: true},
+		{Start: 5, Count: 5, Write: false},
+	}); len(got) != 2 {
+		t.Fatalf("cross-direction overlap merged: %v", got)
+	}
+}
+
 func TestRunOnDisk(t *testing.T) {
 	d := disk.New(disk.DefaultConfig(), 1<<20)
 	e := NewElevator(0)

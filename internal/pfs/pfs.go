@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sync"
 
+	"redbud/internal/cache"
 	"redbud/internal/core"
 	"redbud/internal/defrag"
 	"redbud/internal/disk"
@@ -89,6 +90,12 @@ type Config struct {
 	// and, when Fault is set, deterministic fault injection. The zero
 	// value is the default fault-free transport.
 	RPC rpc.ClientConfig
+	// Cache, when set, mounts a client-side block cache between the file
+	// operations and the RPC clients: re-reads of cached blocks cost no
+	// RPCs, adjacent dirty blocks flush as one coalesced write, and
+	// sequential readers trigger adaptive readahead. Nil (the default)
+	// keeps the mount write-through, so existing runs stay byte-identical.
+	Cache *cache.Config
 	// Metrics, when set, instruments the mount into the registry at New
 	// time (labeled with the configuration Name). Multiple mounts may share
 	// one registry; their counters sum.
@@ -168,6 +175,7 @@ type FS struct {
 	mdsc    *rpc.MDSClient
 	ostc    []*rpc.OSTClient
 	defrag  *defrag.Engine // online defragmentation, one controller per OST
+	cache   *cache.Cache   // client block cache, nil on write-through mounts
 	files   map[inode.Ino]*file
 	nextObj uint64
 
@@ -215,6 +223,9 @@ func New(cfg Config) (*FS, error) {
 		dc = *cfg.Defrag
 	}
 	fs.defrag = defrag.NewEngine(dc, fs.osts...)
+	if cfg.Cache != nil {
+		fs.cache = cache.New(*cfg.Cache, cacheStore{fs})
+	}
 	if cfg.Metrics != nil {
 		fs.Instrument(cfg.Metrics, telemetry.Labels{"fs": cfg.Name})
 	}
@@ -243,6 +254,9 @@ func (fs *FS) Instrument(reg *telemetry.Registry, labels telemetry.Labels) {
 	}
 	fs.fabric.Instrument(reg, labels.With("layer", "net"))
 	fs.defrag.Instrument(reg, labels.With("layer", "defrag"))
+	if fs.cache != nil {
+		fs.cache.Instrument(reg, labels.With("layer", "cache"))
+	}
 }
 
 // SetTracer attaches (or with nil detaches) the span tracer to the mount
@@ -314,6 +328,72 @@ func (fs *FS) OSTs() int { return len(fs.osts) }
 // per OST). The engine is built at mount time but does nothing until driven
 // — batch tools call Run, a live system interleaves Step with traffic.
 func (fs *FS) Defrag() *defrag.Engine { return fs.defrag }
+
+// Cache returns the client block cache, or nil when the mount runs
+// write-through (the default).
+func (fs *FS) Cache() *cache.Cache { return fs.cache }
+
+// cacheStore adapts the mount into the cache's backing store. Its methods
+// only run inside cache calls made while fs.mu is held (every cache entry
+// point in this package holds it), so they use the *Locked paths directly
+// and never re-enter the cache — the lock order is fs.mu, then cache.mu,
+// and the write-back/fetch callbacks stay strictly below both.
+type cacheStore struct{ fs *FS }
+
+// WriteBack flushes one coalesced dirty run through the regular striped
+// write path, extent-churn accounting included.
+func (s cacheStore) WriteBack(f cache.FileID, stream core.StreamID, blk, count int64) error {
+	fl, ok := s.fs.files[inode.Ino(f)]
+	if !ok {
+		return fmt.Errorf("pfs: write-back for unknown inode %d", uint64(f))
+	}
+	return s.fs.writeThroughLocked(fl, stream, blk, count)
+}
+
+// Fetch reads one missing (possibly readahead-extended) run through the
+// regular striped read path.
+func (s cacheStore) Fetch(f cache.FileID, blk, count int64) error {
+	fl, ok := s.fs.files[inode.Ino(f)]
+	if !ok {
+		return fmt.Errorf("pfs: fetch for unknown inode %d", uint64(f))
+	}
+	return s.fs.readThroughLocked(fl, blk, count)
+}
+
+// cacheSpanLocked opens the "cache" span of one cached operation under the
+// pfs op span and points the rpc connection at it, so any write-back or
+// fetch RPCs nest pfs → cache → rpc. Callers hold fs.mu.
+func (fs *FS) cacheSpanLocked(name string, op *telemetry.ActiveSpan) *telemetry.ActiveSpan {
+	if fs.tracer == nil {
+		return nil
+	}
+	sp := fs.tracer.Start("cache", name, op.ID())
+	fs.conn.SetTraceParent(sp.ID())
+	return sp
+}
+
+// endCacheSpanLocked closes a cache span and restores the rpc connection's
+// trace parent to the enclosing op span. Callers hold fs.mu.
+func (fs *FS) endCacheSpanLocked(sp, op *telemetry.ActiveSpan) {
+	if sp == nil {
+		return
+	}
+	fs.conn.SetTraceParent(op.ID())
+	sp.End()
+}
+
+// flushFileLocked is the per-file barrier on cached mounts: every dirty
+// block of f is written back before the caller's own RPCs proceed. A
+// write-through mount has nothing to do. Callers hold fs.mu.
+func (fs *FS) flushFileLocked(f *file, name string, op *telemetry.ActiveSpan) error {
+	if fs.cache == nil {
+		return nil
+	}
+	sp := fs.cacheSpanLocked(name, op)
+	err := fs.cache.FlushFile(cache.FileID(f.ino))
+	fs.endCacheSpanLocked(sp, op)
+	return err
+}
 
 // Root returns the root directory.
 func (fs *FS) Root() inode.Ino { return fs.mds.Root() }
@@ -428,10 +508,18 @@ func (fs *FS) Delete(parent inode.Ino, name string) error {
 	if !ok {
 		return nil // metadata-only file (no data written)
 	}
+	// Delete is a flush barrier: dirty blocks drain before the objects go
+	// away, then the cache forgets the file entirely.
+	if err := fs.flushFileLocked(f, "delete-barrier", sp); err != nil {
+		return err
+	}
 	for i := range fs.ostc {
 		if err := fs.ostc[i].Delete(f.objects[i]); err != nil {
 			return err
 		}
+	}
+	if fs.cache != nil {
+		fs.cache.Drop(cache.FileID(ino))
 	}
 	delete(fs.files, ino)
 	return nil
@@ -511,8 +599,18 @@ func (fs *FS) Flush() {
 	}
 }
 
-// Sync flushes the IO servers and the metadata server.
+// Sync flushes the IO servers and the metadata server. On cached mounts
+// it is the mount-wide flush barrier: every file's dirty blocks are
+// written back before the servers are forced.
 func (fs *FS) Sync() error {
+	fs.mu.Lock()
+	if fs.cache != nil {
+		if err := fs.cache.Flush(); err != nil {
+			fs.mu.Unlock()
+			return err
+		}
+	}
+	fs.mu.Unlock()
 	fs.Flush()
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
@@ -608,16 +706,29 @@ func (h *File) Write(stream core.StreamID, blk, count int64) error {
 		fs.observeOpLocked(fs.writeHist, begin)
 		fs.endOpLocked(sp)
 	}()
-	before, err := fs.totalExtentsLocked(h.f)
+	if fs.cache != nil {
+		csp := fs.cacheSpanLocked("write", sp)
+		err := fs.cache.Write(cache.FileID(h.f.ino), stream, blk, count)
+		fs.endCacheSpanLocked(csp, sp)
+		return err
+	}
+	return fs.writeThroughLocked(h.f, stream, blk, count)
+}
+
+// writeThroughLocked stores count blocks at file-logical block blk across
+// the stripe — the uncached write path, also the cache's write-back target.
+// Callers hold fs.mu.
+func (fs *FS) writeThroughLocked(f *file, stream core.StreamID, blk, count int64) error {
+	before, err := fs.totalExtentsLocked(f)
 	if err != nil {
 		return err
 	}
 	for _, p := range fs.stripeRange(blk, count) {
-		if err := fs.ostc[p.ostIdx].Write(h.f.objects[p.ostIdx], stream, p.logical, p.count); err != nil {
+		if err := fs.ostc[p.ostIdx].Write(f.objects[p.ostIdx], stream, p.logical, p.count); err != nil {
 			return err
 		}
 	}
-	after, err := fs.totalExtentsLocked(h.f)
+	after, err := fs.totalExtentsLocked(f)
 	if err != nil {
 		return err
 	}
@@ -632,7 +743,7 @@ func (h *File) Write(stream core.StreamID, blk, count int64) error {
 	if err := fs.mdsc.NoteExtentChurn(churn + 1 + after/1024); err != nil {
 		return err
 	}
-	h.f.extents = after
+	f.extents = after
 	return nil
 }
 
@@ -651,8 +762,21 @@ func (h *File) Read(blk, count int64) error {
 		fs.observeOpLocked(fs.readHist, begin)
 		fs.endOpLocked(sp)
 	}()
+	if fs.cache != nil {
+		csp := fs.cacheSpanLocked("read", sp)
+		err := fs.cache.Read(cache.FileID(h.f.ino), blk, count)
+		fs.endCacheSpanLocked(csp, sp)
+		return err
+	}
+	return fs.readThroughLocked(h.f, blk, count)
+}
+
+// readThroughLocked fetches count blocks at file-logical block blk across
+// the stripe — the uncached read path, also the cache's fetch target.
+// Callers hold fs.mu.
+func (fs *FS) readThroughLocked(f *file, blk, count int64) error {
 	for _, p := range fs.stripeRange(blk, count) {
-		if err := fs.ostc[p.ostIdx].Read(h.f.objects[p.ostIdx], p.logical, p.count); err != nil {
+		if err := fs.ostc[p.ostIdx].Read(f.objects[p.ostIdx], p.logical, p.count); err != nil {
 			return err
 		}
 	}
@@ -670,10 +794,18 @@ func (h *File) Truncate(sizeBlocks int64) error {
 	defer fs.mu.Unlock()
 	sp := fs.startOpLocked("truncate")
 	defer fs.endOpLocked(sp)
+	// Truncate is a flush barrier: dirty blocks drain first, then the
+	// servers shrink, then the cache drops the now-stale tail.
+	if err := fs.flushFileLocked(h.f, "truncate-barrier", sp); err != nil {
+		return err
+	}
 	for i := range fs.ostc {
 		if err := fs.ostc[i].Truncate(h.f.objects[i], fs.componentBlocks(sizeBlocks, i)); err != nil {
 			return err
 		}
+	}
+	if fs.cache != nil {
+		fs.cache.Truncate(cache.FileID(h.f.ino), sizeBlocks)
 	}
 	return nil
 }
@@ -687,6 +819,11 @@ func (h *File) Fsync() error {
 	defer fs.mu.Unlock()
 	sp := fs.startOpLocked("fsync")
 	defer fs.endOpLocked(sp)
+	// Fsync is a flush barrier: every cached dirty block reaches the
+	// servers before their own buffers are forced.
+	if err := fs.flushFileLocked(h.f, "fsync-barrier", sp); err != nil {
+		return err
+	}
 	for i := range fs.ostc {
 		if err := fs.ostc[i].Fsync(h.f.objects[i]); err != nil {
 			return err
@@ -703,6 +840,11 @@ func (h *File) Close() error {
 	defer fs.mu.Unlock()
 	sp := fs.startOpLocked("close")
 	defer fs.endOpLocked(sp)
+	// Close is a flush barrier: the layout summary recorded at the MDS
+	// must describe the data as the servers hold it.
+	if err := fs.flushFileLocked(h.f, "close-barrier", sp); err != nil {
+		return err
+	}
 	var layout []extent.Extent
 	for i := range fs.ostc {
 		if err := fs.ostc[i].CloseObject(h.f.objects[i]); err != nil {

@@ -12,7 +12,10 @@ type RetryPolicy struct {
 	// TimeoutNs is how long the client waits for a response before
 	// declaring the exchange lost.
 	TimeoutNs sim.Ns
-	// MaxRetries bounds the re-sends after the first attempt.
+	// MaxRetries bounds the re-sends after the first attempt. Zero means
+	// "unset" and takes the default (8); NoRetries (-1) disables re-sends
+	// entirely, so the first drop or transient failure surfaces
+	// immediately. Use NoRetryPolicy for a ready-made fail-fast policy.
 	MaxRetries int
 	// BackoffNs is the first retry's wait.
 	BackoffNs sim.Ns
@@ -20,6 +23,20 @@ type RetryPolicy struct {
 	BackoffFactor float64
 	// MaxBackoffNs caps the wait.
 	MaxBackoffNs sim.Ns
+}
+
+// NoRetries is the MaxRetries sentinel for "fail on the first loss". A
+// plain 0 cannot express it: the zero value of RetryPolicy must keep
+// meaning "all defaults", so 0 promotes to the default retry budget.
+const NoRetries = -1
+
+// NoRetryPolicy returns a fail-fast policy: default timeout, no re-sends.
+// The first dropped message surfaces as KindTimeout, the first transient
+// failure as KindUnavailable.
+func NoRetryPolicy() RetryPolicy {
+	p := DefaultRetryPolicy()
+	p.MaxRetries = NoRetries
+	return p
 }
 
 // DefaultRetryPolicy is tuned for the simulated cluster: the timeout
@@ -44,14 +61,16 @@ type RetryTransport struct {
 }
 
 // NewRetryTransport wraps next with the policy (zero-valued fields take
-// the defaults).
+// the defaults; MaxRetries < 0 — see NoRetries — means no re-sends).
 func NewRetryTransport(next Transport, policy RetryPolicy) *RetryTransport {
 	def := DefaultRetryPolicy()
 	if policy.TimeoutNs <= 0 {
 		policy.TimeoutNs = def.TimeoutNs
 	}
-	if policy.MaxRetries <= 0 {
+	if policy.MaxRetries == 0 {
 		policy.MaxRetries = def.MaxRetries
+	} else if policy.MaxRetries < 0 {
+		policy.MaxRetries = 0
 	}
 	if policy.BackoffNs <= 0 {
 		policy.BackoffNs = def.BackoffNs

@@ -251,6 +251,43 @@ func TestRetryExhaustionSurfacesTimeout(t *testing.T) {
 	}
 }
 
+// TestNoRetryPolicyFailsOnFirstDrop is the regression test for the
+// zero-vs-unset retry bug: MaxRetries: 0 used to silently promote to the
+// default budget of 8, so a caller could not express "no retries". The
+// NoRetries sentinel (and NoRetryPolicy) must fail on the very first
+// dropped message with KindTimeout — exactly one wire attempt, no re-sends.
+func TestNoRetryPolicyFailsOnFirstDrop(t *testing.T) {
+	srv := newMDS(t)
+	reg := telemetry.NewRegistry()
+	fault := FaultConfig{Seed: 1, Meta: FaultRates{Drop: 1}}
+	policy := NoRetryPolicy()
+	conn := NewConn(ClientConfig{Fault: &fault, Retry: &policy})
+	conn.Register("mds", NewMDSEndpoint("mds", srv), nil)
+	conn.Instrument(reg, telemetry.Labels{"layer": "rpc"})
+	cl := NewMDSClient(conn, "mds")
+	_, err := cl.Create(srv.Root(), "dropped")
+	re, ok := err.(*Error)
+	if !ok || re.Kind != KindTimeout {
+		t.Fatalf("err = %v, want rpc KindTimeout on the first drop", err)
+	}
+	if got := counterValue(reg, "rpc_retries", ""); got != 0 {
+		t.Fatalf("no-retry policy re-sent %d times, want 0", got)
+	}
+	if got := counterValue(reg, "rpc_calls", "op=create"); got != 0 {
+		t.Fatalf("rpc_calls{op=create} = %d, want 0 (the one attempt dropped before the wire)", got)
+	}
+	if got := counterValue(reg, "rpc_timeouts", ""); got != 1 {
+		t.Fatalf("rpc_timeouts = %d, want 1 (the drop was charged)", got)
+	}
+	// The explicit sentinel works without the constructor too.
+	policy2 := RetryPolicy{MaxRetries: NoRetries}
+	conn2 := NewConn(ClientConfig{Fault: &fault, Retry: &policy2})
+	conn2.Register("mds", NewMDSEndpoint("mds", srv), nil)
+	if _, err := NewMDSClient(conn2, "mds").Create(srv.Root(), "dropped2"); err == nil {
+		t.Fatal("sentinel MaxRetries policy must fail on the first drop")
+	}
+}
+
 func TestApplicationErrorsPassThroughWithoutRetry(t *testing.T) {
 	srv := newMDS(t)
 	reg := telemetry.NewRegistry()

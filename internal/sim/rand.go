@@ -1,5 +1,7 @@
 package sim
 
+import "math/bits"
+
 // Rand is a small, deterministic pseudo-random number generator
 // (SplitMix64). Every workload generator in this repository takes an
 // explicit seed and derives all randomness from a Rand, so identical seeds
@@ -30,11 +32,24 @@ func (r *Rand) Uint64() uint64 {
 
 // Int63n returns a uniform pseudo-random int64 in [0, n). It panics if
 // n <= 0.
+//
+// Draws are unbiased: a plain Uint64() % n over-weights the low residues
+// whenever n does not divide 2^64 (for n near 2^63 the skew reaches a
+// factor of two). Instead the draw is masked to the smallest power of two
+// covering n and rejected until it lands inside [0, n) — at worst half the
+// masked range is rejected, so the loop takes < 2 draws in expectation.
+// For powers of two the mask alone suffices and the accepted values match
+// the old modulo sequence exactly.
 func (r *Rand) Int63n(n int64) int64 {
 	if n <= 0 {
 		panic("sim: Int63n with non-positive n")
 	}
-	return int64(r.Uint64() % uint64(n))
+	mask := uint64(1)<<bits.Len64(uint64(n)-1) - 1
+	for {
+		if v := r.Uint64() & mask; v < uint64(n) {
+			return int64(v)
+		}
+	}
 }
 
 // Intn returns a uniform pseudo-random int in [0, n). It panics if n <= 0.

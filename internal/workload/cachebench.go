@@ -1,0 +1,207 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"redbud/internal/cache"
+	"redbud/internal/core"
+	"redbud/internal/pfs"
+	"redbud/internal/sim"
+	"redbud/internal/telemetry"
+)
+
+// CacheBenchConfig parameterizes the client-cache experiment: the Figure 1
+// aging pattern (interleaved small sequential writers) followed by re-read
+// passes, run with the cache off and on over the same deterministic
+// request sequence.
+type CacheBenchConfig struct {
+	// Files is the number of concurrently-written files; their round-robin
+	// interleaving is what fragments the volume and shreds the write RPC
+	// stream.
+	Files int
+	// FileBlocks is each file's size in blocks.
+	FileBlocks int64
+	// RequestBlocks is the write request size (small, so the uncached
+	// mount issues many tiny RPCs).
+	RequestBlocks int64
+	// ReadRequestBlocks is the sequential re-read request size.
+	ReadRequestBlocks int64
+	// Cache tunes the cached arm. The capacity should hold the whole
+	// working set so the second re-read pass measures pure cache hits.
+	Cache cache.Config
+}
+
+// DefaultCacheBenchConfig returns a laptop-scale shape: 8 files of 4 MiB
+// written in 16 KiB interleaved requests, re-read twice in 256 KiB
+// requests, against the default cache tuning (whose 64 MiB capacity holds
+// the 32 MiB working set).
+func DefaultCacheBenchConfig() CacheBenchConfig {
+	return CacheBenchConfig{
+		Files:             8,
+		FileBlocks:        1024,
+		RequestBlocks:     4,
+		ReadRequestBlocks: 64,
+		Cache:             cache.DefaultConfig(),
+	}
+}
+
+// CacheArmResult measures one arm (cache off or on) of the experiment.
+type CacheArmResult struct {
+	CacheOn bool
+
+	// Write phase: interleaved small sequential writes, ended by the Sync
+	// barrier so the cached arm pays its write-backs inside the phase.
+	WriteRPCs         int64 // obj-write RPCs issued
+	WritePositionings int64 // disk head movements during the phase
+	WriteMBps         float64
+	Extents           int // total file extents after the barrier
+
+	// Re-read phase: two identical sequential passes. With the cache on,
+	// blocks still resident from the write phase serve both passes from
+	// client memory — zero RPCs, zero head movement.
+	Pass1ReadRPCs     int64
+	Pass2ReadRPCs     int64
+	Pass1Positionings int64
+	Pass2Positionings int64
+	Pass1MBps         float64
+	Pass2MBps         float64
+
+	// Cache counters (zero for the uncached arm).
+	Cache cache.Stats
+}
+
+// TotalPositionings sums the disk head movements of all three phases —
+// the paper's block-layer metric, end to end over the experiment.
+func (r CacheArmResult) TotalPositionings() int64 {
+	return r.WritePositionings + r.Pass1Positionings + r.Pass2Positionings
+}
+
+// CacheBenchResult reports both arms for one mount profile.
+type CacheBenchResult struct {
+	Config string
+	Files  int
+	Off    CacheArmResult
+	On     CacheArmResult
+}
+
+// rpcCount sums one op's rpc_calls across the registry.
+func rpcCount(reg *telemetry.Registry, op string) int64 {
+	var total int64
+	want := "op=" + op
+	for _, s := range reg.Snapshot() {
+		if s.Name == "rpc_calls" && strings.Contains(s.Labels, want) {
+			total += s.Value
+		}
+	}
+	return total
+}
+
+// runCacheArm executes the deterministic write+re-read sequence on one
+// fresh mount and measures it through a private registry (so arms never
+// share counters).
+func runCacheArm(fsCfg pfs.Config, cfg CacheBenchConfig, withCache bool) (CacheArmResult, error) {
+	res := CacheArmResult{CacheOn: withCache}
+	reg := telemetry.NewRegistry()
+	fsCfg.Metrics = reg
+	if withCache {
+		cc := cfg.Cache
+		fsCfg.Cache = &cc
+	} else {
+		fsCfg.Cache = nil
+	}
+	fs, err := pfs.New(fsCfg)
+	if err != nil {
+		return res, err
+	}
+
+	// Write phase: round-robin interleaved small sequential writes, the
+	// arrival order that provokes intra-file fragmentation, closed by the
+	// Sync barrier (the cached arm's write-backs land inside the phase).
+	fs.ResetDataStats()
+	files := make([]*pfs.File, cfg.Files)
+	for i := range files {
+		f, err := fs.Create(fs.Root(), fmt.Sprintf("cache%02d.dat", i), 0)
+		if err != nil {
+			return res, err
+		}
+		files[i] = f
+	}
+	for off := int64(0); off < cfg.FileBlocks; off += cfg.RequestBlocks {
+		n := cfg.RequestBlocks
+		if off+n > cfg.FileBlocks {
+			n = cfg.FileBlocks - off
+		}
+		for i, f := range files {
+			st := core.StreamID{Client: uint32(i / 4), PID: uint32(i % 4)}
+			if err := f.Write(st, off, n); err != nil {
+				return res, err
+			}
+		}
+	}
+	if err := fs.Sync(); err != nil {
+		return res, err
+	}
+	res.WriteRPCs = rpcCount(reg, "obj-write")
+	res.WritePositionings = fs.DataStats().Positionings
+	bytes := int64(cfg.Files) * cfg.FileBlocks * fs.Config().OST.Disk.BlockSize
+	res.WriteMBps = sim.MBps(bytes, fs.DataBusyMax())
+	if res.Extents, err = totalExtents(fs, files); err != nil {
+		return res, err
+	}
+
+	// Re-read phase: two identical sequential passes. Server restarts
+	// drop the OST-side prefetch state between passes so only the client
+	// cache distinguishes them.
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < fs.OSTs(); i++ {
+			fs.OST(i).Restart()
+		}
+		fs.ResetDataStats()
+		before := rpcCount(reg, "obj-read")
+		for _, f := range files {
+			for off := int64(0); off < cfg.FileBlocks; off += cfg.ReadRequestBlocks {
+				n := cfg.ReadRequestBlocks
+				if off+n > cfg.FileBlocks {
+					n = cfg.FileBlocks - off
+				}
+				if err := f.Read(off, n); err != nil {
+					return res, err
+				}
+			}
+		}
+		fs.Flush()
+		rpcs := rpcCount(reg, "obj-read") - before
+		tput := sim.MBps(bytes, fs.DataBusyMax())
+		pos := fs.DataStats().Positionings
+		if pass == 0 {
+			res.Pass1ReadRPCs, res.Pass1Positionings, res.Pass1MBps = rpcs, pos, tput
+		} else {
+			res.Pass2ReadRPCs, res.Pass2Positionings, res.Pass2MBps = rpcs, pos, tput
+		}
+	}
+	if c := fs.Cache(); c != nil {
+		res.Cache = c.Stats()
+	}
+	return res, nil
+}
+
+// RunCacheBench executes both arms of the client-cache experiment against
+// fsCfg: identical deterministic request sequences with the cache off and
+// on. The off arm is the existing write-through behavior; the on arm must
+// aggregate the small interleaved writes into coalesced write-backs and
+// serve the second re-read pass from memory.
+func RunCacheBench(fsCfg pfs.Config, cfg CacheBenchConfig) (CacheBenchResult, error) {
+	if cfg.Files <= 0 || cfg.FileBlocks <= 0 || cfg.RequestBlocks <= 0 || cfg.ReadRequestBlocks <= 0 {
+		return CacheBenchResult{}, fmt.Errorf("workload: bad cache bench config %+v", cfg)
+	}
+	res := CacheBenchResult{Config: fsCfg.Name, Files: cfg.Files}
+	var err error
+	if res.Off, err = runCacheArm(fsCfg, cfg, false); err != nil {
+		return res, err
+	}
+	if res.On, err = runCacheArm(fsCfg, cfg, true); err != nil {
+		return res, err
+	}
+	return res, nil
+}

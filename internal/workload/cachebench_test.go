@@ -1,0 +1,54 @@
+package workload
+
+import (
+	"testing"
+
+	"redbud/internal/pfs"
+)
+
+// TestCacheBenchAggregationWins pins the experiment's headline claims on a
+// reduced working set: for both the vanilla and the MiF profile, the
+// cached arm of the small-sequential-write workload must issue at least 2x
+// fewer OST data-write RPCs and strictly fewer disk positionings than the
+// write-through arm, and the second re-read pass must be served entirely
+// from client memory.
+func TestCacheBenchAggregationWins(t *testing.T) {
+	cfg := DefaultCacheBenchConfig()
+	cfg.FileBlocks = 256 // keep the test fast; the shape is what matters
+	for _, fsCfg := range []pfs.Config{
+		pfs.MiF(5).WithPolicy(pfs.PolicyVanilla),
+		pfs.MiF(5),
+	} {
+		res, err := RunCacheBench(fsCfg, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", fsCfg.Name, err)
+		}
+		if res.On.WriteRPCs*2 > res.Off.WriteRPCs {
+			t.Errorf("%s: write RPCs %d cached vs %d uncached, want at least 2x fewer",
+				res.Config, res.On.WriteRPCs, res.Off.WriteRPCs)
+		}
+		if res.On.TotalPositionings() >= res.Off.TotalPositionings() {
+			t.Errorf("%s: positionings %d cached vs %d uncached, want strictly fewer",
+				res.Config, res.On.TotalPositionings(), res.Off.TotalPositionings())
+		}
+		if res.On.Pass2ReadRPCs != 0 {
+			t.Errorf("%s: second re-read pass issued %d RPCs, want 0 (served from memory)",
+				res.Config, res.On.Pass2ReadRPCs)
+		}
+		if res.On.Extents > res.Off.Extents {
+			t.Errorf("%s: cached layout has %d extents vs %d uncached — aggregation must not fragment harder",
+				res.Config, res.On.Extents, res.Off.Extents)
+		}
+		// The off arm is plain write-through: no cache counters may move.
+		if z := res.Off.Cache; z.Writebacks != 0 || z.HitBlocks != 0 || z.MissBlocks != 0 {
+			t.Errorf("%s: uncached arm has cache stats %+v, want zeros", res.Config, z)
+		}
+	}
+}
+
+// TestCacheBenchRejectsBadConfig covers the config validation.
+func TestCacheBenchRejectsBadConfig(t *testing.T) {
+	if _, err := RunCacheBench(pfs.MiF(3), CacheBenchConfig{}); err == nil {
+		t.Fatal("zero config must be rejected")
+	}
+}
