@@ -1,12 +1,14 @@
 # Developer entry points. `make ci` is the full gate: formatting, vet,
-# build, the test suite under the race detector, and the end-to-end smoke
-# run of the CLI tools.
+# build, the test suite under the race detector, the end-to-end smoke run
+# of the CLI tools, and a benchmark-snapshot drift check against the
+# committed baseline. `make bench` regenerates the local snapshot at full
+# scale.
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race smoke
+.PHONY: ci fmt vet build test race smoke bench benchcheck
 
-ci: fmt vet build race smoke
+ci: fmt vet build race smoke benchcheck
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -48,4 +50,24 @@ smoke:
 	"$$dir/miffsck" gen -cache -dirs 2 -files 48 "$$dir/cfs.img" && \
 	"$$dir/miffsck" check "$$dir/cfs.img" && \
 	"$$dir/miftrace" gen -streams 4 -region 128 > "$$dir/t.trace" && \
-	"$$dir/miftrace" replay -drop-rate 0.05 "$$dir/t.trace"
+	"$$dir/miftrace" replay -drop-rate 0.05 "$$dir/t.trace" && \
+	"$$dir/mifbench" -scale 0.25 -spans "$$dir/s.json" fig6a > /dev/null && \
+	"$$dir/miftrace" critpath "$$dir/s.json"
+
+# bench regenerates the full-scale performance snapshot. Run it on a quiet
+# machine and commit the result as BENCH_seed.json to move the baseline
+# (simulated metrics are deterministic; only wall_ns varies run to run).
+bench:
+	$(GO) run ./cmd/mifbench -bench-json BENCH_local.json all
+
+# benchcheck replays the fig6a experiment at the baseline's scale and
+# compares per-metric drift against the committed snapshot's fig6a record
+# (the other experiments are reported as missing, which is informational).
+# The simulator is deterministic, so simulated metrics should show zero
+# drift; the leg is warn-only for now so a legitimate perf change can land
+# together with its baseline refresh without a chicken-and-egg failure.
+benchcheck:
+	@dir=$$(mktemp -d) && trap 'rm -rf "$$dir"' EXIT && \
+	$(GO) build -o "$$dir" ./cmd/mifbench && \
+	"$$dir/mifbench" -bench-json "$$dir/b.json" fig6a > /dev/null && \
+	"$$dir/mifbench" compare -warn-only BENCH_seed.json "$$dir/b.json"

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"redbud/internal/benchsnap"
+)
+
+// Benchmark-snapshot session state. With -bench-json, benchSnap collects
+// one benchsnap.Experiment per phase; benchResetSpans marks that the
+// session's tracer exists only to time the snapshot (no -trace/-spans
+// output), so its span buffer can be discarded at each phase boundary to
+// bound memory — Reset keeps the clock running.
+var (
+	benchSnap       *benchsnap.Snapshot
+	benchResetSpans bool
+)
+
+// runCompare implements the `mifbench compare <old> <new>` subcommand:
+// diff two BENCH_*.json snapshots against per-metric tolerances. Exits 1
+// when a regression exceeds tolerance (unless -warn-only), 2 on usage or
+// read errors.
+func runCompare(args []string) {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: mifbench compare [-tolerance frac] [-warn-only] [-v] <old.json> <new.json>\n")
+		fs.PrintDefaults()
+	}
+	tol := fs.Float64("tolerance", benchsnap.DefaultTolerance,
+		"allowed relative drift before a metric regresses (cost metrics fail only upward)")
+	warn := fs.Bool("warn-only", false, "report regressions but always exit 0")
+	verbose := fs.Bool("v", false, "list every drifted metric, not just the largest")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	old := readSnapshot(fs.Arg(0))
+	cur := readSnapshot(fs.Arg(1))
+	res := benchsnap.Compare(old, cur, benchsnap.Options{Tolerance: *tol, WarnOnly: *warn})
+	if err := res.WriteText(os.Stdout, *verbose); err != nil {
+		fmt.Fprintf(os.Stderr, "mifbench compare: %v\n", err)
+		os.Exit(2)
+	}
+	if res.Failed {
+		os.Exit(1)
+	}
+}
+
+// readSnapshot loads one snapshot file, exiting on failure.
+func readSnapshot(path string) *benchsnap.Snapshot {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mifbench compare: %v\n", err)
+		os.Exit(2)
+	}
+	defer f.Close()
+	s, err := benchsnap.Read(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mifbench compare: %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	return s
+}

@@ -168,6 +168,7 @@ func runFig8(scale float64) error {
 		cfg := workload.DefaultMetaratesConfig(sys.layout)
 		cfg.FilesPerDir = int(float64(cfg.FilesPerDir) * scale)
 		cfg.Htree = sys.htree
+		cfg.Metrics, cfg.Trace = benchReg, benchTracer
 		res, err := workload.RunMetarates(cfg)
 		if err != nil {
 			return err
@@ -195,6 +196,7 @@ func runFig8(scale float64) error {
 		n := workload.DefaultMetaratesConfig(mdfs.LayoutNormal)
 		n.Clients = 4
 		n.FilesPerDir = files
+		n.Metrics, n.Trace = benchReg, benchTracer
 		normal, err := workload.RunMetarates(n)
 		if err != nil {
 			return err
@@ -227,6 +229,7 @@ func runFig9(float64) error {
 		for _, u := range []float64{0.1, 0.4, 0.6, 0.8} {
 			cfg := workload.DefaultAgingConfig(sys.layout, u)
 			cfg.Htree = sys.htree
+			cfg.Metrics, cfg.Trace = benchReg, benchTracer
 			res, err := workload.RunAging(cfg)
 			if err != nil {
 				return err

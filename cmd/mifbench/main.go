@@ -25,7 +25,22 @@
 // -trace <file>, request spans across the full IO path (pfs → mds/ost →
 // iosched → disk) are recorded on the simulated timeline and written as
 // Chrome trace_event JSON, with a "phase" marker at each experiment
-// boundary; open it in chrome://tracing or Perfetto.
+// boundary; open it in chrome://tracing or Perfetto. With -spans <file>,
+// the same spans are written in the raw redbud-spans/1 log format that
+// `miftrace critpath` and `miftrace spans` consume.
+//
+// With -bench-json <file>, the run emits a schema-versioned performance
+// snapshot (see internal/benchsnap): one record per experiment holding
+// wall-clock and simulated totals, every counter, per-layer latency
+// percentiles, time-series curves, and structured-event totals. The
+// registry feeding it is recreated at each phase boundary so records are
+// per-experiment (combining with -telemetry therefore turns its snapshots
+// into per-phase deltas too). Compare two snapshots with
+//
+//	mifbench compare [-tolerance frac] [-warn-only] [-v] <old> <new>
+//
+// which classifies each metric (volatile wall clock / cost / invariant),
+// reports drift, and exits non-zero on regressions beyond tolerance.
 package main
 
 import (
@@ -35,17 +50,19 @@ import (
 	"io"
 	"os"
 
+	"redbud/internal/benchsnap"
 	"redbud/internal/pfs"
 	"redbud/internal/telemetry"
 )
 
 // benchReg and benchTracer, when non-nil, are attached to every mount the
 // experiments build (via instrumented); phaseSnaps accumulates one registry
-// snapshot per completed experiment.
+// snapshot per completed experiment when -telemetry asked for them.
 var (
-	benchReg    *telemetry.Registry
-	benchTracer *telemetry.Tracer
-	phaseSnaps  []phaseSnapshot
+	benchReg       *telemetry.Registry
+	benchTracer    *telemetry.Tracer
+	phaseSnaps     []phaseSnapshot
+	wantPhaseSnaps bool
 )
 
 // phaseSnapshot is the per-experiment telemetry record written by
@@ -64,13 +81,20 @@ func instrumented(cfg pfs.Config) pfs.Config {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		runCompare(os.Args[2:])
+		return
+	}
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: mifbench [flags] {fig6a|fig6b|fig7|table1|fig8|fig9|fig10|ablation|defrag|cache|all}\n")
+		fmt.Fprintf(os.Stderr, "       mifbench compare [-tolerance frac] [-warn-only] [-v] <old.json> <new.json>\n")
 		flag.PrintDefaults()
 	}
 	scale := flag.Float64("scale", 1.0, "workload scale factor (file sizes, file counts)")
 	telemetryOut := flag.String("telemetry", "", "write per-phase metrics-registry snapshots (JSON) to this file")
 	traceOut := flag.String("trace", "", "record request spans and write Chrome trace_event JSON to this file")
+	spansOut := flag.String("spans", "", "record request spans and write the raw span log (for miftrace critpath) to this file")
+	benchJSON := flag.String("bench-json", "", "write a benchsnap performance snapshot (BENCH_*.json) to this file")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		flag.Usage()
@@ -78,11 +102,22 @@ func main() {
 	}
 	if *telemetryOut != "" {
 		benchReg = telemetry.NewRegistry()
+		wantPhaseSnaps = true
 	}
-	if *traceOut != "" {
+	if *traceOut != "" || *spansOut != "" {
 		benchTracer = telemetry.NewTracer(nil)
 	}
 	exp := flag.Arg(0)
+	if *benchJSON != "" {
+		benchSnap = benchsnap.New(exp, *scale)
+		// The snapshot needs the simulated clock and per-op durations, so
+		// a tracer is always attached; when nothing else wants the spans
+		// themselves, they are discarded at each phase boundary.
+		if benchTracer == nil {
+			benchTracer = telemetry.NewTracer(nil)
+			benchResetSpans = true
+		}
+	}
 	runners := map[string]func(float64) error{
 		"fig6a":    runFig6a,
 		"fig6b":    runFig6b,
@@ -119,17 +154,38 @@ func main() {
 	if *traceOut != "" {
 		writeOutput(*traceOut, benchTracer.WriteChromeTrace)
 	}
+	if *spansOut != "" {
+		writeOutput(*spansOut, benchTracer.WriteSpanLog)
+	}
+	if benchSnap != nil {
+		writeOutput(*benchJSON, benchSnap.Write)
+	}
 }
 
 // runPhase runs one experiment, bracketed by a phase marker on the trace
-// timeline and followed by a registry snapshot.
+// timeline and followed by a registry snapshot. With -bench-json the
+// registry is recreated per phase (records are per-experiment state) and
+// a benchsnap collector brackets the run.
 func runPhase(name string, fn func(float64) error, scale float64) error {
+	if benchSnap != nil {
+		benchReg = telemetry.NewRegistry()
+	}
 	benchTracer.Mark("phase", name)
+	var col *benchsnap.Collector
+	if benchSnap != nil {
+		col = benchsnap.StartExperiment(benchReg, benchTracer)
+	}
 	if err := fn(scale); err != nil {
 		return err
 	}
-	if benchReg != nil {
+	if wantPhaseSnaps {
 		phaseSnaps = append(phaseSnaps, phaseSnapshot{Phase: name, Metrics: benchReg.Snapshot()})
+	}
+	if col != nil {
+		benchSnap.Experiments = append(benchSnap.Experiments, col.Finish(name))
+		if benchResetSpans {
+			benchTracer.Reset()
+		}
 	}
 	return nil
 }

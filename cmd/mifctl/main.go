@@ -27,10 +27,14 @@
 // line. The layer=cache metrics appear in `stats`.
 //
 // Every mount is instrumented into a telemetry registry; `stats` dumps the
-// live registry (counters, gauges, per-layer latency histograms) as aligned
-// tables. With -trace <file>, the whole session is additionally recorded as
-// spans on the simulated timeline and written as Chrome trace_event JSON,
-// openable in chrome://tracing or Perfetto.
+// live registry (counters, gauges, per-layer latency histograms, time
+// series, structured events) as aligned tables. `report` adds a "path:"
+// line — the session's request latency attributed per layer by the span
+// critical-path analyzer — and an "events:" line when structured events
+// (retries, timeouts, evictions, defrag preemptions) occurred. The session
+// is always span-traced; with -trace <file> the spans are additionally
+// written as Chrome trace_event JSON, openable in chrome://tracing or
+// Perfetto.
 //
 // Example:
 //
@@ -98,11 +102,11 @@ func main() {
 
 	reg := telemetry.NewRegistry()
 	cfg.Metrics = reg
-	var tr *telemetry.Tracer
-	if *traceOut != "" {
-		tr = telemetry.NewTracer(nil)
-		cfg.Trace = tr
-	}
+	// The session is always traced: `report` feeds the spans through the
+	// critical-path analyzer for its per-layer breakdown line. -trace
+	// only decides whether the spans are also written out.
+	tr := telemetry.NewTracer(nil)
+	cfg.Trace = tr
 
 	fs, err := pfs.New(cfg)
 	if err != nil {
@@ -120,7 +124,7 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	if err := run(fs, reg, in, os.Stdout); err != nil {
+	if err := run(fs, reg, tr, in, os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 	if *traceOut != "" {
@@ -141,6 +145,7 @@ func main() {
 type session struct {
 	fs    *pfs.FS
 	reg   *telemetry.Registry
+	tr    *telemetry.Tracer
 	files map[string]*pfs.File
 }
 
@@ -159,8 +164,8 @@ func (s *session) resolveDir(path string) (inode.Ino, string, error) {
 }
 
 // run executes the op script.
-func run(fs *pfs.FS, reg *telemetry.Registry, in io.Reader, out io.Writer) error {
-	s := &session{fs: fs, reg: reg, files: make(map[string]*pfs.File)}
+func run(fs *pfs.FS, reg *telemetry.Registry, tr *telemetry.Tracer, in io.Reader, out io.Writer) error {
+	s := &session{fs: fs, reg: reg, tr: tr, files: make(map[string]*pfs.File)}
 	sc := bufio.NewScanner(in)
 	line := 0
 	for sc.Scan() {
@@ -288,6 +293,25 @@ func (s *session) exec(out io.Writer, f []string) error {
 			cs := c.Stats()
 			fmt.Fprintf(out, "cache: %d hits, %d misses, %d dirty, %d cached, %d write-backs (%d blocks), %d evicted\n",
 				cs.HitBlocks, cs.MissBlocks, cs.DirtyBlocks, cs.CachedBlocks, cs.Writebacks, cs.WritebackBlocks, cs.EvictedBlocks)
+		}
+		// Per-layer latency breakdown: attribute the session's request
+		// latency to layers via the span critical-path analyzer.
+		if rep := telemetry.AnalyzeCritPath(s.tr.Spans(), 0); rep.Roots > 0 {
+			fmt.Fprintf(out, "path: %d ops, %.2f ms total", rep.Roots, sim.Seconds(rep.TotalNs)*1e3)
+			for _, lt := range rep.Layers {
+				fmt.Fprintf(out, ", %s %.1f%%", lt.Layer, 100*float64(lt.SelfNs)/float64(rep.TotalNs))
+			}
+			if rep.UntrackedNs > 0 {
+				fmt.Fprintf(out, ", untracked %.1f%%", 100*float64(rep.UntrackedNs)/float64(rep.TotalNs))
+			}
+			fmt.Fprintln(out)
+		}
+		if evs := s.reg.Events().Counts(); len(evs) > 0 {
+			fmt.Fprint(out, "events:")
+			for _, ec := range evs {
+				fmt.Fprintf(out, " %s/%s %d", ec.Layer, ec.Kind, ec.Count)
+			}
+			fmt.Fprintln(out)
 		}
 		return nil
 	case "stats":

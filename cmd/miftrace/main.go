@@ -7,6 +7,7 @@
 //	miftrace gen -pattern shared|strided|random -streams N -region B > t.trace
 //	miftrace replay [-policy P] [-drop-rate R] [-spans s.json] [-telemetry m.json] <t.trace|->
 //	miftrace spans [-o chrome.json] <s.json|->
+//	miftrace critpath [-top K] <s.json|->
 //
 // The trace format is defined by internal/trace: one op per line,
 // `W <client>.<pid> <blk> <count>` or `R <blk> <count>`.
@@ -15,7 +16,11 @@
 // simulated timeline and writes them as a span-log JSON document; with
 // -telemetry it writes the mount's metrics-registry snapshot as JSON. The
 // spans subcommand converts a recorded span log into Chrome trace_event
-// JSON for chrome://tracing or Perfetto.
+// JSON for chrome://tracing or Perfetto. The critpath subcommand runs the
+// critical-path analyzer over a span log: per-request latency is
+// attributed to the layer that actually spent it (a span's self time is
+// its duration minus its children's), printed as a per-layer breakdown
+// plus the top-K slowest requests with their own decompositions.
 //
 // With -drop-rate, replay splices the deterministic fault injector into
 // the rpc transport: requests are lost at the given rate (responses at
@@ -40,7 +45,7 @@ import (
 
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: miftrace {gen|replay|spans} [flags]")
+		fmt.Fprintln(os.Stderr, "usage: miftrace {gen|replay|spans|critpath} [flags]")
 		os.Exit(2)
 	}
 	switch os.Args[1] {
@@ -50,6 +55,8 @@ func main() {
 		replay(os.Args[2:])
 	case "spans":
 		spans(os.Args[2:])
+	case "critpath":
+		critpath(os.Args[2:])
 	default:
 		fmt.Fprintf(os.Stderr, "miftrace: unknown subcommand %q\n", os.Args[1])
 		os.Exit(2)
@@ -246,4 +253,32 @@ func spans(args []string) {
 		return
 	}
 	writeFile(*out, func(w io.Writer) error { return telemetry.WriteChromeTrace(w, recorded) })
+}
+
+// critpath analyzes a recorded span log: per-layer self-time attribution
+// and the slowest requests.
+func critpath(args []string) {
+	fs := flag.NewFlagSet("critpath", flag.ExitOnError)
+	top := fs.Int("top", 5, "show the K slowest requests with per-layer breakdowns")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		log.Fatal("usage: miftrace critpath [-top K] <spans.json|->")
+	}
+	var in io.Reader = os.Stdin
+	if fs.Arg(0) != "-" {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	recorded, err := telemetry.ReadSpanLog(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := telemetry.AnalyzeCritPath(recorded, *top)
+	if err := rep.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -1,0 +1,275 @@
+package benchsnap
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Metric classes drive the comparison semantics.
+type Class string
+
+// Classes:
+//
+//   - ClassVolatile metrics (wall clock) never fail a comparison; drift is
+//     reported at warn level only.
+//   - ClassCost metrics (simulated time, latency percentiles, positioning
+//     and RPC counts) regress only when they grow beyond tolerance —
+//     getting faster is an improvement, not a failure.
+//   - ClassInvariant metrics (everything else: block counts, extents,
+//     gauges) regress when they drift beyond tolerance in either
+//     direction — an unexplained change in work done is a behavior
+//     change the trajectory should flag.
+const (
+	ClassVolatile  Class = "volatile"
+	ClassCost      Class = "cost"
+	ClassInvariant Class = "invariant"
+)
+
+// costMetrics name the counter prefixes whose growth is a regression.
+var costMetrics = []string{
+	"disk_positionings", "disk_requests", "rpc_calls", "rpc_errors",
+	"rpc_retries", "rpc_timeouts", "rpc_exhausted", "mds_rpcs",
+	"mds_cpu_ns", "net_bytes",
+}
+
+// Classify assigns a metric key (e.g. "sim_ns", "layer/rpc/p99_ns",
+// "counter/disk_positionings{layer=disk}") to its comparison class.
+func Classify(key string) Class {
+	switch {
+	case key == "wall_ns":
+		return ClassVolatile
+	case key == "sim_ns", strings.HasPrefix(key, "layer/"):
+		return ClassCost
+	}
+	if name, ok := strings.CutPrefix(key, "counter/"); ok {
+		for _, c := range costMetrics {
+			if strings.HasPrefix(name, c) {
+				return ClassCost
+			}
+		}
+	}
+	return ClassInvariant
+}
+
+// Options tunes a comparison.
+type Options struct {
+	// Tolerance is the allowed relative drift before a non-volatile
+	// metric regresses (0.05 = 5%). Negative means "use the default".
+	Tolerance float64
+	// WarnOnly downgrades every regression to a warning: Result.Failed
+	// stays false. The CI trajectory leg starts here so wall-clock noise
+	// and intentional perf changes never block a build.
+	WarnOnly bool
+}
+
+// DefaultTolerance is the relative drift allowed by default.
+const DefaultTolerance = 0.05
+
+// Delta is one metric's movement between two snapshots.
+type Delta struct {
+	Experiment string  `json:"experiment"`
+	Metric     string  `json:"metric"`
+	Class      Class   `json:"class"`
+	Old        float64 `json:"old"`
+	New        float64 `json:"new"`
+	// Frac is (new-old)/old, or ±1 when old is zero and new is not.
+	Frac float64 `json:"frac"`
+	// Regression marks drift beyond tolerance in the failing direction
+	// for the metric's class (never set for volatile metrics).
+	Regression bool `json:"regression"`
+}
+
+// Result is a full comparison.
+type Result struct {
+	Deltas []Delta
+	// Missing lists experiments present in only one snapshot.
+	Missing []string
+	// SimMetrics and SimDrifted count the deterministic (non-volatile)
+	// metrics compared and how many moved at all — "zero simulated-metric
+	// drift" on identical runs means SimDrifted == 0.
+	SimMetrics int
+	SimDrifted int
+	// Regressions counts deltas flagged as regressions; Failed is true
+	// when Regressions > 0 and the comparison was not warn-only.
+	Regressions int
+	Failed      bool
+}
+
+// flatten renders one experiment as comparable key → value pairs.
+func flatten(e Experiment) map[string]float64 {
+	out := map[string]float64{
+		"wall_ns": float64(e.WallNs),
+		"sim_ns":  float64(e.SimNs),
+	}
+	for k, v := range e.Counters {
+		out["counter/"+k] = float64(v)
+	}
+	for _, l := range e.Layers {
+		base := "layer/" + l.Layer + "/"
+		out[base+"count"] = float64(l.Count)
+		out[base+"mean_ns"] = l.MeanNs
+		out[base+"p50_ns"] = float64(l.P50Ns)
+		out[base+"p95_ns"] = float64(l.P95Ns)
+		out[base+"p99_ns"] = float64(l.P99Ns)
+		out[base+"max_ns"] = float64(l.MaxNs)
+	}
+	for _, ev := range e.Events {
+		out["event/"+ev.Layer+"/"+ev.Kind] = float64(ev.Count)
+	}
+	return out
+}
+
+// Compare diffs two snapshots. Experiments are matched by name; metrics
+// present on only one side are treated as drifting from zero.
+func Compare(old, new *Snapshot, opt Options) Result {
+	tol := opt.Tolerance
+	if tol < 0 {
+		tol = DefaultTolerance
+	}
+	var res Result
+
+	oldExps := make(map[string]Experiment, len(old.Experiments))
+	for _, e := range old.Experiments {
+		oldExps[e.Name] = e
+	}
+	newExps := make(map[string]Experiment, len(new.Experiments))
+	for _, e := range new.Experiments {
+		newExps[e.Name] = e
+	}
+	for name := range oldExps {
+		if _, ok := newExps[name]; !ok {
+			res.Missing = append(res.Missing, name+" (old only)")
+		}
+	}
+	for name := range newExps {
+		if _, ok := oldExps[name]; !ok {
+			res.Missing = append(res.Missing, name+" (new only)")
+		}
+	}
+	sort.Strings(res.Missing)
+
+	for _, ne := range new.Experiments {
+		oe, ok := oldExps[ne.Name]
+		if !ok {
+			continue
+		}
+		ov, nv := flatten(oe), flatten(ne)
+		keys := make([]string, 0, len(ov))
+		seen := make(map[string]bool, len(ov))
+		for k := range ov {
+			keys = append(keys, k)
+			seen[k] = true
+		}
+		for k := range nv {
+			if !seen[k] {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			o, n := ov[k], nv[k]
+			class := Classify(k)
+			if class != ClassVolatile {
+				res.SimMetrics++
+			}
+			if o == n {
+				continue
+			}
+			var frac float64
+			switch {
+			case o != 0:
+				frac = (n - o) / o
+			case n > 0:
+				frac = 1
+			default:
+				frac = -1
+			}
+			d := Delta{Experiment: ne.Name, Metric: k, Class: class, Old: o, New: n, Frac: frac}
+			switch class {
+			case ClassVolatile:
+				// reported, never failing
+			case ClassCost:
+				d.Regression = frac > tol
+			default:
+				d.Regression = frac > tol || frac < -tol
+			}
+			if class != ClassVolatile {
+				res.SimDrifted++
+			}
+			if d.Regression {
+				res.Regressions++
+			}
+			res.Deltas = append(res.Deltas, d)
+		}
+	}
+	res.Failed = res.Regressions > 0 && !opt.WarnOnly
+	return res
+}
+
+// WriteText renders the comparison: regressions first, then the largest
+// drifts, then the summary line.
+func (r Result) WriteText(w io.Writer, verbose bool) error {
+	for _, m := range r.Missing {
+		if _, err := fmt.Fprintf(w, "missing: experiment %s\n", m); err != nil {
+			return err
+		}
+	}
+	shown := 0
+	order := append([]Delta(nil), r.Deltas...)
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].Regression != order[j].Regression {
+			return order[i].Regression
+		}
+		ai, aj := order[i].Frac, order[j].Frac
+		if ai < 0 {
+			ai = -ai
+		}
+		if aj < 0 {
+			aj = -aj
+		}
+		if ai != aj {
+			return ai > aj
+		}
+		if order[i].Experiment != order[j].Experiment {
+			return order[i].Experiment < order[j].Experiment
+		}
+		return order[i].Metric < order[j].Metric
+	})
+	const maxQuiet = 20
+	for _, d := range order {
+		if !verbose && !d.Regression && shown >= maxQuiet {
+			break
+		}
+		tag := "drift"
+		if d.Regression {
+			tag = "REGRESSION"
+		} else if d.Class == ClassVolatile {
+			tag = "wall"
+		}
+		if _, err := fmt.Fprintf(w, "%-10s %-10s %-46s %14.0f -> %14.0f  %+7.1f%%\n",
+			tag, d.Experiment, d.Metric, d.Old, d.New, 100*d.Frac); err != nil {
+			return err
+		}
+		shown++
+	}
+	if !verbose && len(order) > shown {
+		if _, err := fmt.Fprintf(w, "... %d more drifts (use -v to list all)\n", len(order)-shown); err != nil {
+			return err
+		}
+	}
+	drift := "zero simulated-metric drift"
+	if r.SimDrifted > 0 {
+		drift = fmt.Sprintf("%d of %d simulated metrics drifted", r.SimDrifted, r.SimMetrics)
+	}
+	verdict := "ok"
+	switch {
+	case r.Failed:
+		verdict = "FAIL"
+	case r.Regressions > 0:
+		verdict = "warn"
+	}
+	_, err := fmt.Fprintf(w, "compare: %s; %d regressions beyond tolerance; %s\n", drift, r.Regressions, verdict)
+	return err
+}

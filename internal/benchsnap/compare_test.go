@@ -1,0 +1,139 @@
+package benchsnap
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func snapWith(counters map[string]int64, wallNs int64, simNs int64) *Snapshot {
+	return &Snapshot{
+		Schema: SchemaVersion,
+		Name:   "t",
+		Scale:  1,
+		Experiments: []Experiment{{
+			Name:     "fig6a",
+			WallNs:   wallNs,
+			SimNs:    simNs,
+			Counters: counters,
+		}},
+	}
+}
+
+func findDelta(r Result, metric string) *Delta {
+	for i := range r.Deltas {
+		if r.Deltas[i].Metric == metric {
+			return &r.Deltas[i]
+		}
+	}
+	return nil
+}
+
+func TestCompareIdenticalRunsZeroDrift(t *testing.T) {
+	a := snapWith(map[string]int64{"disk_positionings{layer=disk}": 100}, 111, 5000)
+	b := snapWith(map[string]int64{"disk_positionings{layer=disk}": 100}, 999, 5000)
+	res := Compare(a, b, Options{Tolerance: -1})
+	if res.SimDrifted != 0 || res.Regressions != 0 || res.Failed {
+		t.Fatalf("identical sim content must show zero drift: %+v", res)
+	}
+	// Wall-clock difference is reported but never drifts or fails.
+	if d := findDelta(res, "wall_ns"); d == nil || d.Regression || d.Class != ClassVolatile {
+		t.Fatalf("wall_ns delta = %+v", d)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteText(&buf, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "zero simulated-metric drift") {
+		t.Fatalf("report = %q", buf.String())
+	}
+}
+
+func TestCompareToleranceBoundary(t *testing.T) {
+	// Cost metric at old=1000, tolerance 5%: growth to exactly 1050 is
+	// allowed (boundary inclusive), 1049 is allowed, 1051 regresses.
+	for _, tc := range []struct {
+		name    string
+		newVal  int64
+		regress bool
+	}{
+		{"equal", 1000, false},
+		{"at-tolerance", 1050, false},
+		{"just-under", 1049, false},
+		{"just-over", 1051, true},
+		{"improvement", 900, false}, // cost metrics never fail downward
+	} {
+		a := snapWith(map[string]int64{"rpc_calls{op=obj-write}": 1000}, 0, 0)
+		b := snapWith(map[string]int64{"rpc_calls{op=obj-write}": tc.newVal}, 0, 0)
+		res := Compare(a, b, Options{Tolerance: 0.05})
+		if got := res.Regressions > 0; got != tc.regress {
+			t.Errorf("%s: regressions=%d, want regression=%v", tc.name, res.Regressions, tc.regress)
+		}
+		if tc.regress && !res.Failed {
+			t.Errorf("%s: Failed should be true without WarnOnly", tc.name)
+		}
+	}
+}
+
+func TestCompareInvariantFailsBothDirections(t *testing.T) {
+	a := snapWith(map[string]int64{"blocks_written{layer=ost}": 1000}, 0, 0)
+	b := snapWith(map[string]int64{"blocks_written{layer=ost}": 900}, 0, 0)
+	res := Compare(a, b, Options{Tolerance: 0.05})
+	if res.Regressions != 1 {
+		t.Fatalf("invariant shrink must regress: %+v", res.Deltas)
+	}
+}
+
+func TestCompareZeroOldValue(t *testing.T) {
+	a := snapWith(map[string]int64{}, 0, 0)
+	b := snapWith(map[string]int64{"rpc_timeouts{op=obj-write}": 3}, 0, 0)
+	res := Compare(a, b, Options{Tolerance: 0.05})
+	d := findDelta(res, "counter/rpc_timeouts{op=obj-write}")
+	if d == nil || d.Frac != 1 || !d.Regression {
+		t.Fatalf("appearing cost metric = %+v", d)
+	}
+}
+
+func TestCompareWarnOnly(t *testing.T) {
+	a := snapWith(map[string]int64{"rpc_calls{}": 100}, 0, 0)
+	b := snapWith(map[string]int64{"rpc_calls{}": 200}, 0, 0)
+	res := Compare(a, b, Options{Tolerance: 0.05, WarnOnly: true})
+	if res.Regressions != 1 || res.Failed {
+		t.Fatalf("warn-only must flag but not fail: %+v", res)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteText(&buf, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "warn") {
+		t.Fatalf("report = %q", out)
+	}
+}
+
+func TestCompareMissingExperiments(t *testing.T) {
+	a := snapWith(nil, 0, 0)
+	b := &Snapshot{Schema: SchemaVersion, Experiments: []Experiment{{Name: "fig7"}}}
+	res := Compare(a, b, Options{})
+	if len(res.Missing) != 2 {
+		t.Fatalf("missing = %v, want both sides reported", res.Missing)
+	}
+}
+
+func TestCompareLayerLatencyClassedAsCost(t *testing.T) {
+	mk := func(p99 int64) *Snapshot {
+		s := snapWith(nil, 0, 0)
+		s.Experiments[0].Layers = []LayerLatency{{Layer: "disk", Count: 10, P99Ns: p99}}
+		return s
+	}
+	res := Compare(mk(1000), mk(2000), Options{Tolerance: 0.05})
+	d := findDelta(res, "layer/disk/p99_ns")
+	if d == nil || d.Class != ClassCost || !d.Regression {
+		t.Fatalf("p99 delta = %+v", d)
+	}
+	// Latency halving is an improvement, not a regression.
+	res = Compare(mk(2000), mk(1000), Options{Tolerance: 0.05})
+	if res.Regressions != 0 {
+		t.Fatalf("latency improvement flagged: %+v", res.Deltas)
+	}
+}

@@ -37,6 +37,7 @@ import (
 
 	"redbud/internal/alloc"
 	"redbud/internal/core"
+	"redbud/internal/sim"
 	"redbud/internal/telemetry"
 )
 
@@ -182,6 +183,11 @@ type Cache struct {
 	// wbHist, when attached, observes every coalesced write-back run's
 	// size in blocks — the aggregation-factor histogram.
 	wbHist *telemetry.Histogram
+	// events, when attached, records structured eviction events stamped
+	// with now() (the mount's simulated clock; absent a clock they land
+	// at time zero).
+	events *telemetry.EventLog
+	now    func() sim.Ns
 }
 
 // New builds a cache over the backing store. Zero config fields take
@@ -213,6 +219,7 @@ func (c *Cache) Stats() Stats {
 func (c *Cache) Instrument(reg *telemetry.Registry, labels telemetry.Labels) {
 	c.mu.Lock()
 	c.wbHist = reg.Histogram("cache_writeback_blocks", labels)
+	c.events = reg.Events()
 	c.mu.Unlock()
 	reg.CounterFunc("cache_hit_blocks", labels, func() int64 { return c.Stats().HitBlocks })
 	reg.CounterFunc("cache_miss_blocks", labels, func() int64 { return c.Stats().MissBlocks })
@@ -224,6 +231,24 @@ func (c *Cache) Instrument(reg *telemetry.Registry, labels telemetry.Labels) {
 	reg.CounterFunc("cache_flush_barriers", labels, func() int64 { return c.Stats().FlushBarriers })
 	reg.GaugeFunc("cache_dirty_blocks", labels, func() int64 { return c.Stats().DirtyBlocks })
 	reg.GaugeFunc("cache_cached_blocks", labels, func() int64 { return c.Stats().CachedBlocks })
+}
+
+// SetClock attaches the simulated-time source that stamps the cache's
+// structured events (the PFS layer passes its tracer's Now). A nil fn
+// detaches it.
+func (c *Cache) SetClock(fn func() sim.Ns) {
+	c.mu.Lock()
+	c.now = fn
+	c.mu.Unlock()
+}
+
+// nowLocked returns the current simulated time, or 0 with no clock
+// attached. Callers hold c.mu.
+func (c *Cache) nowLocked() sim.Ns {
+	if c.now == nil {
+		return 0
+	}
+	return c.now()
 }
 
 // file returns (creating on demand) the per-file state. Callers hold c.mu.
@@ -388,6 +413,7 @@ func (c *Cache) enforceCapacityLocked() error {
 				return err
 			}
 		}
+		c.events.Emit(c.nowLocked(), "cache", "evict", fmt.Sprintf("file %d blk %d", victim.f, victim.blk))
 		c.drop(victim)
 		c.st.EvictedBlocks++
 	}

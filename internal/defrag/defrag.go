@@ -200,6 +200,10 @@ type Controller struct {
 	tracer  *telemetry.Tracer
 
 	sliceHist *telemetry.Histogram
+	// events, when attached, records each foreground preemption as a
+	// structured event; evDetail names the controller's server.
+	events   *telemetry.EventLog
+	evDetail string
 }
 
 // NewController builds a controller for one server. The token bucket's
@@ -253,6 +257,8 @@ func (c *Controller) Pending() int {
 func (c *Controller) Instrument(reg *telemetry.Registry, labels telemetry.Labels) {
 	c.mu.Lock()
 	c.sliceHist = reg.Histogram("defrag_slice_ns", labels)
+	c.events = reg.Events()
+	c.evDetail = "ost " + labels["ost"]
 	c.mu.Unlock()
 	reg.CounterFunc("defrag_blocks_moved", labels, func() int64 { return c.Stats().BlocksMoved })
 	reg.CounterFunc("defrag_objects_migrated", labels, func() int64 { return c.Stats().ObjectsMigrated })
@@ -397,6 +403,7 @@ func (c *Controller) step(force bool) (int64, error) {
 	if !force {
 		if c.srv.PendingRequests() > 0 {
 			c.stats.Preempted++
+			c.events.Emit(c.tracer.Now(), "defrag", "preempt", c.evDetail)
 			c.mu.Unlock()
 			return 0, nil
 		}

@@ -185,6 +185,12 @@ type FS struct {
 	tracer    *telemetry.Tracer
 	writeHist *telemetry.Histogram
 	readHist  *telemetry.Histogram
+	// writeSeries/readSeries sample client-visible throughput (blocks per
+	// window of simulated time); extentSeries tracks the written file's
+	// extent count over time — the aging curve of Figures 8 and 9.
+	writeSeries  *telemetry.Series
+	readSeries   *telemetry.Series
+	extentSeries *telemetry.Series
 }
 
 // New formats and mounts a Redbud file system.
@@ -245,6 +251,9 @@ func (fs *FS) Instrument(reg *telemetry.Registry, labels telemetry.Labels) {
 	pl := labels.With("layer", "pfs")
 	fs.writeHist = reg.Histogram("pfs_write_ns", pl)
 	fs.readHist = reg.Histogram("pfs_read_ns", pl)
+	fs.writeSeries = reg.Series("pfs_write_blocks", pl, 0, 0)
+	fs.readSeries = reg.Series("pfs_read_blocks", pl, 0, 0)
+	fs.extentSeries = reg.Series("pfs_file_extents", pl, 0, 0)
 	fs.mu.Unlock()
 	fs.conn.Instrument(reg, labels.With("layer", "rpc"))
 	fs.mds.Instrument(reg, labels.With("layer", "mds"))
@@ -271,6 +280,11 @@ func (fs *FS) SetTracer(t *telemetry.Tracer) {
 		srv.SetTracer(t)
 	}
 	fs.defrag.SetTracer(t)
+	if fs.cache != nil {
+		// Stamp cache events on the mount's timeline (t.Now is nil-safe,
+		// so a detached tracer just pins them at time zero).
+		fs.cache.SetClock(t.Now)
+	}
 }
 
 // Tracer returns the attached tracer (nil when tracing is off).
@@ -704,6 +718,7 @@ func (h *File) Write(stream core.StreamID, blk, count int64) error {
 	begin := fs.tracer.Now()
 	defer func() {
 		fs.observeOpLocked(fs.writeHist, begin)
+		fs.writeSeries.Add(fs.tracer.Now(), count)
 		fs.endOpLocked(sp)
 	}()
 	if fs.cache != nil {
@@ -744,6 +759,7 @@ func (fs *FS) writeThroughLocked(f *file, stream core.StreamID, blk, count int64
 		return err
 	}
 	f.extents = after
+	fs.extentSeries.Set(fs.tracer.Now(), int64(after))
 	return nil
 }
 
@@ -760,6 +776,7 @@ func (h *File) Read(blk, count int64) error {
 	begin := fs.tracer.Now()
 	defer func() {
 		fs.observeOpLocked(fs.readHist, begin)
+		fs.readSeries.Add(fs.tracer.Now(), count)
 		fs.endOpLocked(sp)
 	}()
 	if fs.cache != nil {

@@ -89,23 +89,24 @@ func (t *FaultTransport) draw() (drop, respDrop, errp, delayp, delayFrac float64
 // error, or response loss, plus an optional delay on exchanges that reach
 // the server.
 func (t *FaultTransport) Call(addr string, xid uint64, req Request) (Msg, error) {
-	r := t.cfg.rates(req.RPCOp().Class())
+	op := req.RPCOp()
+	r := t.cfg.rates(op.Class())
 	drop, respDrop, errp, delayp, delayFrac := t.draw()
 	if drop < r.Drop {
-		t.sh.m.fault("drop")
+		t.sh.m.fault(t.sh.tracer.Now(), "drop", op)
 		return nil, &dropError{response: false}
 	}
 	if errp < r.Error {
-		t.sh.m.fault("error")
-		return nil, &Error{Op: req.RPCOp(), Addr: addr, Kind: KindUnavailable}
+		t.sh.m.fault(t.sh.tracer.Now(), "error", op)
+		return nil, &Error{Op: op, Addr: addr, Kind: KindUnavailable}
 	}
 	if delayp < r.Delay && r.MaxDelayNs > 0 {
-		t.sh.m.fault("delay")
+		t.sh.m.fault(t.sh.tracer.Now(), "delay", op)
 		t.sh.advance(sim.Ns(delayFrac*float64(r.MaxDelayNs)) + 1)
 	}
 	resp, err := t.next.Call(addr, xid, req)
 	if err == nil && respDrop < r.RespDrop {
-		t.sh.m.fault("resp-drop")
+		t.sh.m.fault(t.sh.tracer.Now(), "resp-drop", op)
 		return nil, &dropError{response: true}
 	}
 	return resp, err

@@ -98,7 +98,7 @@ func (t *RetryTransport) Call(addr string, xid uint64, req Request) (Msg, error)
 		resp, err := t.next.Call(addr, xid, req)
 		if err == nil {
 			if attempt > 0 {
-				t.sh.m.recovery()
+				t.sh.m.recovery(t.sh.tracer.Now(), req.RPCOp())
 			}
 			return resp, nil
 		}
@@ -107,7 +107,7 @@ func (t *RetryTransport) Call(addr string, xid uint64, req Request) (Msg, error)
 			// The message vanished: the client finds out by waiting out
 			// the RPC timeout.
 			t.sh.advance(p.TimeoutNs)
-			t.sh.m.timeout()
+			t.sh.m.timeout(t.sh.tracer.Now(), req.RPCOp())
 			kind = KindTimeout
 		} else if re, ok := err.(*Error); !ok || !re.Transient() {
 			// Application errors and non-retriable RPC failures pass
@@ -115,10 +115,10 @@ func (t *RetryTransport) Call(addr string, xid uint64, req Request) (Msg, error)
 			return resp, err
 		}
 		if attempt >= p.MaxRetries {
-			t.sh.m.exhaust()
+			t.sh.m.exhaust(t.sh.tracer.Now(), req.RPCOp())
 			return nil, &Error{Op: req.RPCOp(), Addr: addr, Kind: kind}
 		}
-		t.sh.m.retry()
+		t.sh.m.retry(t.sh.tracer.Now(), req.RPCOp())
 		t.sh.advance(backoff)
 		backoff = sim.Ns(float64(backoff) * p.BackoffFactor)
 		if backoff > p.MaxBackoffNs {

@@ -124,8 +124,18 @@ func (m *metrics) call(op Op, dur sim.Ns, failed bool) {
 	}
 }
 
-// fault counts one injected fault by kind (drop, resp-drop, error, delay).
-func (m *metrics) fault(kind string) {
+// event records one structured rpc-layer event (the timestamp comes from
+// the stack's tracer at the call site; 0 with no tracer attached).
+func (m *metrics) event(at sim.Ns, kind, detail string) {
+	if m == nil {
+		return
+	}
+	m.reg.Events().Emit(at, "rpc", kind, detail)
+}
+
+// fault counts one injected fault by kind (drop, resp-drop, error, delay)
+// and records it as a structured event against the faulted op.
+func (m *metrics) fault(at sim.Ns, kind string, op Op) {
 	if m == nil {
 		return
 	}
@@ -137,33 +147,38 @@ func (m *metrics) fault(kind string) {
 	}
 	m.mu.Unlock()
 	c.Inc()
+	m.event(at, kind, string(op))
 }
 
 // retry counts one re-sent request.
-func (m *metrics) retry() {
+func (m *metrics) retry(at sim.Ns, op Op) {
 	if m != nil {
 		m.retries.Inc()
+		m.event(at, "retry", string(op))
 	}
 }
 
 // timeout counts one request that waited out the full RPC timeout.
-func (m *metrics) timeout() {
+func (m *metrics) timeout(at sim.Ns, op Op) {
 	if m != nil {
 		m.timeouts.Inc()
+		m.event(at, "timeout", string(op))
 	}
 }
 
 // recovery counts one call that failed at least once and then succeeded.
-func (m *metrics) recovery() {
+func (m *metrics) recovery(at sim.Ns, op Op) {
 	if m != nil {
 		m.recoveries.Inc()
+		m.event(at, "recovery", string(op))
 	}
 }
 
 // exhaust counts one call that gave up after the retry budget.
-func (m *metrics) exhaust() {
+func (m *metrics) exhaust(at sim.Ns, op Op) {
 	if m != nil {
 		m.exhausted.Inc()
+		m.event(at, "exhaust", string(op))
 	}
 }
 

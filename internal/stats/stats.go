@@ -41,6 +41,16 @@ func (d *Dist) Merge(o *Dist) {
 	d.sorted = false
 }
 
+// Clone returns a deep copy of the distribution: mutations of either side
+// never affect the other.
+func (d *Dist) Clone() Dist {
+	out := Dist{sum: d.sum, sorted: d.sorted}
+	if len(d.values) > 0 {
+		out.values = append(make([]int64, 0, len(d.values)), d.values...)
+	}
+	return out
+}
+
 // Count returns the number of samples.
 func (d *Dist) Count() int { return len(d.values) }
 

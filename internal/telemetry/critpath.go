@@ -1,0 +1,299 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"redbud/internal/sim"
+	"redbud/internal/stats"
+)
+
+// Critical-path analysis: walk recorded span trees and attribute each
+// request's latency to the layer that actually spent it. A span's self
+// time is its duration minus the union of its children's intervals —
+// time inside a pfs span but outside its rpc children is client-side
+// work, time inside an rpc span but outside net/server children is
+// protocol overhead, and so on down to the spindle. Summing self times by
+// layer answers "where did the time go" exactly, which is the
+// decomposition the pFSCK and CFS designs start from.
+
+// LayerTime is one layer's attributed self time across the analyzed trace.
+type LayerTime struct {
+	Layer  string `json:"layer"`
+	SelfNs sim.Ns `json:"self_ns"`
+	Spans  int64  `json:"spans"`
+}
+
+// OpBreakdown is one root request with its per-layer decomposition.
+type OpBreakdown struct {
+	Name    string      `json:"name"`
+	Layer   string      `json:"layer"`
+	BeginNs sim.Ns      `json:"begin_ns"`
+	DurNs   sim.Ns      `json:"dur_ns"`
+	Layers  []LayerTime `json:"layers"`
+}
+
+// CritPathReport is the result of analyzing one span forest.
+type CritPathReport struct {
+	// Roots counts the analyzed request trees (spans without a live
+	// parent, phase markers excluded).
+	Roots int64 `json:"roots"`
+	// TotalNs is the summed duration of the roots — the total request
+	// latency being attributed.
+	TotalNs sim.Ns `json:"total_ns"`
+	// AttributedNs is the portion of TotalNs assigned to named layers;
+	// UntrackedNs is the remainder (child intervals escaping their
+	// parent, a tracer anomaly).
+	AttributedNs sim.Ns `json:"attributed_ns"`
+	UntrackedNs  sim.Ns `json:"untracked_ns"`
+	// TimelineNs spans the whole trace (max end minus min begin); the gap
+	// between it and the root union is idle or untraced timeline.
+	TimelineNs sim.Ns `json:"timeline_ns"`
+	// Layers is the per-layer self-time breakdown, largest first.
+	Layers []LayerTime `json:"layers"`
+	// Slowest holds the top-K slowest roots with their own breakdowns.
+	Slowest []OpBreakdown `json:"slowest,omitempty"`
+	// RootDur summarizes the root latency distribution.
+	RootDur HistSnapshot `json:"root_dur"`
+}
+
+// AttributedFraction returns AttributedNs/TotalNs (1 for an empty trace).
+func (r CritPathReport) AttributedFraction() float64 {
+	if r.TotalNs <= 0 {
+		return 1
+	}
+	return float64(r.AttributedNs) / float64(r.TotalNs)
+}
+
+// interval is a half-open [begin, end) slice of the timeline.
+type interval struct{ begin, end sim.Ns }
+
+// unionLen returns the total length covered by the intervals, merging
+// overlaps. It sorts in place.
+func unionLen(ivs []interval) sim.Ns {
+	if len(ivs) == 0 {
+		return 0
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].begin < ivs[j].begin })
+	var total sim.Ns
+	cur := ivs[0]
+	for _, iv := range ivs[1:] {
+		if iv.begin > cur.end {
+			total += cur.end - cur.begin
+			cur = iv
+			continue
+		}
+		if iv.end > cur.end {
+			cur.end = iv.end
+		}
+	}
+	return total + cur.end - cur.begin
+}
+
+// AnalyzeCritPath decomposes the span forest into per-layer self times and
+// the topK slowest requests. Spans in the "phase" layer (benchmark
+// markers) are ignored; spans whose parent was dropped by the tracer's
+// retention cap are treated as roots of their surviving subtree.
+func AnalyzeCritPath(spans []Span, topK int) CritPathReport {
+	var rep CritPathReport
+	if len(spans) == 0 {
+		return rep
+	}
+
+	byID := make(map[SpanID]int, len(spans))
+	for i, sp := range spans {
+		if sp.Layer == "phase" {
+			continue
+		}
+		byID[sp.ID] = i
+	}
+	children := make(map[SpanID][]int)
+	var roots []int
+	var minBegin, maxEnd sim.Ns
+	first := true
+	for i, sp := range spans {
+		if sp.Layer == "phase" {
+			continue
+		}
+		if first || sp.Begin < minBegin {
+			minBegin = sp.Begin
+		}
+		if first || sp.End > maxEnd {
+			maxEnd = sp.End
+		}
+		first = false
+		if _, ok := byID[sp.Parent]; sp.Parent != 0 && ok {
+			children[sp.Parent] = append(children[sp.Parent], i)
+		} else {
+			roots = append(roots, i)
+		}
+	}
+	if first {
+		return rep
+	}
+	rep.TimelineNs = maxEnd - minBegin
+
+	// selfTime computes one span's self time: duration minus the union of
+	// its children's intervals clipped to the span. Clipping loss (a child
+	// recorded outside its parent) is returned separately as untracked.
+	selfTime := func(i int) (self, untracked sim.Ns) {
+		sp := spans[i]
+		var ivs []interval
+		for _, ci := range children[sp.ID] {
+			c := spans[ci]
+			b, e := c.Begin, c.End
+			if b < sp.Begin {
+				untracked += sp.Begin - b
+				b = sp.Begin
+			}
+			if e > sp.End {
+				untracked += e - sp.End
+				e = sp.End
+			}
+			if e > b {
+				ivs = append(ivs, interval{b, e})
+			}
+		}
+		covered := unionLen(ivs)
+		self = sp.Dur() - covered
+		if self < 0 { // overlapping children over-covering the parent
+			untracked += -self
+			self = 0
+		}
+		return self, untracked
+	}
+
+	// walk accumulates a subtree's per-layer self times into acc.
+	var walk func(i int, acc map[string]sim.Ns) sim.Ns
+	walk = func(i int, acc map[string]sim.Ns) sim.Ns {
+		self, untracked := selfTime(i)
+		acc[spans[i].Layer] += self
+		for _, ci := range children[spans[i].ID] {
+			untracked += walk(ci, acc)
+		}
+		return untracked
+	}
+
+	layerTotals := make(map[string]sim.Ns)
+	layerSpans := make(map[string]int64)
+	for _, sp := range spans {
+		if sp.Layer != "phase" {
+			layerSpans[sp.Layer]++
+		}
+	}
+	var rootDur stats.Dist
+	type rootEntry struct {
+		idx int
+		dur sim.Ns
+	}
+	rootEntries := make([]rootEntry, 0, len(roots))
+	for _, ri := range roots {
+		rep.Roots++
+		d := spans[ri].Dur()
+		rep.TotalNs += d
+		rootDur.Add(d)
+		rep.UntrackedNs += walk(ri, layerTotals)
+		rootEntries = append(rootEntries, rootEntry{ri, d})
+	}
+	for layer, ns := range layerTotals {
+		rep.Layers = append(rep.Layers, LayerTime{Layer: layer, SelfNs: ns, Spans: layerSpans[layer]})
+		rep.AttributedNs += ns
+	}
+	sort.Slice(rep.Layers, func(i, j int) bool {
+		if rep.Layers[i].SelfNs != rep.Layers[j].SelfNs {
+			return rep.Layers[i].SelfNs > rep.Layers[j].SelfNs
+		}
+		return rep.Layers[i].Layer < rep.Layers[j].Layer
+	})
+	rep.RootDur = HistSnapshot{Count: int64(rootDur.Count()), Sum: rootDur.Sum()}
+	if rootDur.Count() > 0 {
+		rep.RootDur.Mean = rootDur.Mean()
+		rep.RootDur.Min = rootDur.Min()
+		rep.RootDur.Max = rootDur.Max()
+		rep.RootDur.P50 = rootDur.Percentile(50)
+		rep.RootDur.P95 = rootDur.Percentile(95)
+		rep.RootDur.P99 = rootDur.Percentile(99)
+	}
+
+	if topK > 0 {
+		sort.Slice(rootEntries, func(i, j int) bool {
+			if rootEntries[i].dur != rootEntries[j].dur {
+				return rootEntries[i].dur > rootEntries[j].dur
+			}
+			return spans[rootEntries[i].idx].Begin < spans[rootEntries[j].idx].Begin
+		})
+		if len(rootEntries) > topK {
+			rootEntries = rootEntries[:topK]
+		}
+		for _, re := range rootEntries {
+			sp := spans[re.idx]
+			acc := make(map[string]sim.Ns)
+			walk(re.idx, acc)
+			ob := OpBreakdown{Name: sp.Name, Layer: sp.Layer, BeginNs: sp.Begin, DurNs: re.dur}
+			for layer, ns := range acc {
+				ob.Layers = append(ob.Layers, LayerTime{Layer: layer, SelfNs: ns})
+			}
+			sort.Slice(ob.Layers, func(i, j int) bool {
+				if ob.Layers[i].SelfNs != ob.Layers[j].SelfNs {
+					return ob.Layers[i].SelfNs > ob.Layers[j].SelfNs
+				}
+				return ob.Layers[i].Layer < ob.Layers[j].Layer
+			})
+			rep.Slowest = append(rep.Slowest, ob)
+		}
+	}
+	return rep
+}
+
+// WriteText renders the report as aligned tables: the attribution summary,
+// the per-layer breakdown, and the slowest-ops table when present.
+func (r CritPathReport) WriteText(w io.Writer) error {
+	ms := func(n sim.Ns) string { return fmt.Sprintf("%.3f", sim.Seconds(n)*1e3) }
+	pct := func(n sim.Ns) string {
+		if r.TotalNs <= 0 {
+			return "0.0%"
+		}
+		return fmt.Sprintf("%.1f%%", 100*float64(n)/float64(r.TotalNs))
+	}
+	if _, err := fmt.Fprintf(w,
+		"requests %d, total latency %s ms (timeline %s ms); attributed %s (%s), untracked %s (%s)\n",
+		r.Roots, ms(r.TotalNs), ms(r.TimelineNs),
+		ms(r.AttributedNs), pct(r.AttributedNs), ms(r.UntrackedNs), pct(r.UntrackedNs)); err != nil {
+		return err
+	}
+	if r.RootDur.Count > 0 {
+		if _, err := fmt.Fprintf(w, "per-request latency: mean %.0f ns, p50 %d, p95 %d, p99 %d, max %d\n",
+			r.RootDur.Mean, r.RootDur.P50, r.RootDur.P95, r.RootDur.P99, r.RootDur.Max); err != nil {
+			return err
+		}
+	}
+	layers := stats.NewTable("layer", "self ms", "share", "spans")
+	for _, lt := range r.Layers {
+		layers.AddRowf(lt.Layer, ms(lt.SelfNs), pct(lt.SelfNs), lt.Spans)
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	if err := layers.Render(w); err != nil {
+		return err
+	}
+	if len(r.Slowest) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "\nslowest requests:\n"); err != nil {
+		return err
+	}
+	slow := stats.NewTable("op", "begin ms", "dur ms", "breakdown")
+	for _, ob := range r.Slowest {
+		breakdown := ""
+		for i, lt := range ob.Layers {
+			if i > 0 {
+				breakdown += " "
+			}
+			breakdown += fmt.Sprintf("%s=%s", lt.Layer, ms(lt.SelfNs))
+		}
+		slow.AddRowf(ob.Name, ms(ob.BeginNs), ms(ob.DurNs), breakdown)
+	}
+	return slow.Render(w)
+}

@@ -1,0 +1,140 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"redbud/internal/sim"
+)
+
+func span(id, parent SpanID, layer, name string, begin, end sim.Ns) Span {
+	return Span{ID: id, Parent: parent, Layer: layer, Name: name, Begin: begin, End: end}
+}
+
+func layerSelf(rep CritPathReport, layer string) sim.Ns {
+	for _, lt := range rep.Layers {
+		if lt.Layer == layer {
+			return lt.SelfNs
+		}
+	}
+	return -1
+}
+
+func TestCritPathSelfTimes(t *testing.T) {
+	// pfs [0,100) → rpc [10,60) → net [20,40); plus a phase marker that
+	// must be ignored entirely.
+	spans := []Span{
+		span(1, 0, "pfs", "write", 0, 100),
+		span(2, 1, "rpc", "obj-write", 10, 60),
+		span(3, 2, "net", "xfer", 20, 40),
+		span(9, 0, "phase", "fig6a", 0, 1000),
+	}
+	rep := AnalyzeCritPath(spans, 0)
+	if rep.Roots != 1 || rep.TotalNs != 100 {
+		t.Fatalf("roots=%d total=%d, want 1/100", rep.Roots, rep.TotalNs)
+	}
+	if got := layerSelf(rep, "pfs"); got != 50 {
+		t.Errorf("pfs self = %d, want 50", got)
+	}
+	if got := layerSelf(rep, "rpc"); got != 30 {
+		t.Errorf("rpc self = %d, want 30", got)
+	}
+	if got := layerSelf(rep, "net"); got != 20 {
+		t.Errorf("net self = %d, want 20", got)
+	}
+	if rep.AttributedNs != 100 || rep.UntrackedNs != 0 {
+		t.Fatalf("attributed=%d untracked=%d, want 100/0", rep.AttributedNs, rep.UntrackedNs)
+	}
+	if f := rep.AttributedFraction(); f != 1 {
+		t.Fatalf("attributed fraction = %g, want 1", f)
+	}
+	if rep.TimelineNs != 100 {
+		t.Fatalf("timeline = %d, want 100 (phase span excluded)", rep.TimelineNs)
+	}
+}
+
+func TestCritPathOverlappingChildren(t *testing.T) {
+	// Two children covering [0,60) and [40,100): the union is the whole
+	// parent, so the parent's self time is zero, not negative.
+	spans := []Span{
+		span(1, 0, "pfs", "write", 0, 100),
+		span(2, 1, "rpc", "a", 0, 60),
+		span(3, 1, "rpc", "b", 40, 100),
+	}
+	rep := AnalyzeCritPath(spans, 0)
+	if got := layerSelf(rep, "pfs"); got != 0 {
+		t.Errorf("pfs self = %d, want 0", got)
+	}
+	if got := layerSelf(rep, "rpc"); got != 120 {
+		t.Errorf("rpc self = %d, want 120 (overlap double-counts inside one layer)", got)
+	}
+}
+
+func TestCritPathEscapingChildIsUntracked(t *testing.T) {
+	// A child recorded past its parent's end: the escaping 20ns is clipped
+	// out of the parent's coverage and reported as untracked.
+	spans := []Span{
+		span(1, 0, "pfs", "write", 0, 100),
+		span(2, 1, "rpc", "late", 90, 120),
+	}
+	rep := AnalyzeCritPath(spans, 0)
+	if rep.UntrackedNs != 20 {
+		t.Fatalf("untracked = %d, want 20", rep.UntrackedNs)
+	}
+	if got := layerSelf(rep, "pfs"); got != 90 {
+		t.Errorf("pfs self = %d, want 90", got)
+	}
+}
+
+func TestCritPathOrphanBecomesRoot(t *testing.T) {
+	// The parent was dropped by the span cap: the surviving subtree is
+	// analyzed as its own root rather than discarded.
+	spans := []Span{
+		span(7, 99, "ost", "flush", 10, 30),
+	}
+	rep := AnalyzeCritPath(spans, 0)
+	if rep.Roots != 1 || rep.TotalNs != 20 {
+		t.Fatalf("roots=%d total=%d, want 1/20", rep.Roots, rep.TotalNs)
+	}
+}
+
+func TestCritPathTopKAndWriteText(t *testing.T) {
+	spans := []Span{
+		span(1, 0, "pfs", "write", 0, 30),
+		span(2, 0, "pfs", "read", 100, 120),
+		span(3, 0, "pfs", "stat", 200, 210),
+	}
+	rep := AnalyzeCritPath(spans, 2)
+	if len(rep.Slowest) != 2 {
+		t.Fatalf("slowest = %d entries, want 2", len(rep.Slowest))
+	}
+	if rep.Slowest[0].Name != "write" || rep.Slowest[0].DurNs != 30 {
+		t.Fatalf("slowest[0] = %+v", rep.Slowest[0])
+	}
+	if rep.RootDur.Count != 3 || rep.RootDur.Max != 30 {
+		t.Fatalf("root dist = %+v", rep.RootDur)
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"requests 3", "pfs", "slowest requests", "write"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCritPathEmpty(t *testing.T) {
+	rep := AnalyzeCritPath(nil, 5)
+	if rep.Roots != 0 || rep.AttributedFraction() != 1 {
+		t.Fatalf("empty report = %+v", rep)
+	}
+	rep = AnalyzeCritPath([]Span{span(1, 0, "phase", "only", 0, 10)}, 0)
+	if rep.Roots != 0 || rep.TotalNs != 0 {
+		t.Fatalf("phase-only report = %+v", rep)
+	}
+}

@@ -1,0 +1,64 @@
+package telemetry
+
+import (
+	"testing"
+
+	"redbud/internal/sim"
+)
+
+func TestEventLogRingAndCounts(t *testing.T) {
+	l := NewEventLog(4)
+	for i := 0; i < 6; i++ {
+		kind := "retry"
+		if i%2 == 1 {
+			kind = "timeout"
+		}
+		l.Emit(sim.Ns(i), "rpc", kind, "obj-write")
+	}
+	if l.Len() != 4 {
+		t.Fatalf("len = %d, want 4", l.Len())
+	}
+	if l.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", l.Dropped())
+	}
+	for i, r := range l.Records() {
+		if want := sim.Ns(i + 2); r.At != want {
+			t.Fatalf("record %d at %d, want %d (oldest-first after overflow)", i, r.At, want)
+		}
+	}
+	// Totals stay exact past ring overflow, sorted by layer then kind.
+	counts := l.Counts()
+	if len(counts) != 2 || counts[0].Kind != "retry" || counts[0].Count != 3 || counts[1].Count != 3 {
+		t.Fatalf("counts = %+v", counts)
+	}
+}
+
+func TestEventLogNilSafe(t *testing.T) {
+	var l *EventLog
+	l.Emit(1, "rpc", "retry", "")
+	if l.Len() != 0 || l.Dropped() != 0 || l.Records() != nil || l.Counts() != nil {
+		t.Fatal("nil event log must be inert")
+	}
+	snap := l.Snapshot()
+	if snap.Counts != nil || snap.Recent != nil {
+		t.Fatalf("nil snapshot = %+v", snap)
+	}
+}
+
+func TestRegistryEventsLazyIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Events()
+	b := r.Events()
+	if a == nil || a != b {
+		t.Fatal("Events must be a stable lazily-built log")
+	}
+	a.Emit(5, "cache", "evict", "vol0")
+	if got := r.Events().Counts(); len(got) != 1 || got[0].Layer != "cache" {
+		t.Fatalf("counts through registry = %+v", got)
+	}
+
+	var nilReg *Registry
+	if nilReg.Events() != nil {
+		t.Fatal("nil registry must hand out a nil (inert) event log")
+	}
+}

@@ -63,10 +63,22 @@ type chromeTrace struct {
 	DisplayTimeUnit string        `json:"displayTimeUnit"`
 }
 
-// layerOrder fixes the track ordering of the known IO-path layers so a
-// request reads top-to-bottom: client entry at the top, spindle at the
-// bottom. Unknown layers are appended alphabetically after these.
-var layerOrder = []string{"phase", "pfs", "mds", "net", "ost", "iosched", "disk", "journal"}
+// LayerOrder fixes the canonical top-to-bottom ordering of the known
+// IO-path layers: client entry at the top, spindle at the bottom. The
+// Chrome exporter uses it for track order, the critical-path and bench
+// reports for row order. Unknown layers sort after these, alphabetically.
+var LayerOrder = []string{"phase", "pfs", "cache", "rpc", "net", "mds", "ost", "iosched", "disk", "journal", "defrag"}
+
+// LayerRank returns a layer's position in LayerOrder, or len(LayerOrder)
+// for layers outside the canonical set (callers break ties alphabetically).
+func LayerRank(layer string) int {
+	for i, l := range LayerOrder {
+		if l == layer {
+			return i
+		}
+	}
+	return len(LayerOrder)
+}
 
 // WriteChromeTrace converts spans to Chrome trace_event JSON ("X" complete
 // events, one track per layer, span events as "i" instants) that
@@ -75,7 +87,7 @@ var layerOrder = []string{"phase", "pfs", "mds", "net", "ost", "iosched", "disk"
 func WriteChromeTrace(w io.Writer, spans []Span) error {
 	// Assign a stable tid per layer.
 	tids := make(map[string]int)
-	for i, l := range layerOrder {
+	for i, l := range LayerOrder {
 		tids[l] = i + 1
 	}
 	var extras []string

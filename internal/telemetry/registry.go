@@ -25,6 +25,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"redbud/internal/sim"
 	"redbud/internal/stats"
 )
 
@@ -60,6 +61,22 @@ func (l Labels) With(key, value string) Labels {
 	return out
 }
 
+// ParseLabels inverts canon: it parses a "k=v,k=v" canonical label string
+// back into a Labels map. Label keys and values in this repository never
+// contain "," or "=", which makes the round trip exact.
+func ParseLabels(canon string) Labels {
+	if canon == "" {
+		return nil
+	}
+	out := make(Labels)
+	for _, part := range strings.Split(canon, ",") {
+		if i := strings.IndexByte(part, '='); i >= 0 {
+			out[part[:i]] = part[i+1:]
+		}
+	}
+	return out
+}
+
 // Kind distinguishes the metric families.
 type Kind string
 
@@ -68,6 +85,7 @@ const (
 	KindCounter   Kind = "counter"
 	KindGauge     Kind = "gauge"
 	KindHistogram Kind = "histogram"
+	KindSeries    Kind = "series"
 )
 
 // Counter is a monotonically increasing value. The zero value is unusable;
@@ -114,6 +132,14 @@ func (h *Histogram) Observe(v int64) {
 	h.mu.Unlock()
 }
 
+// Dist returns a deep copy of the accumulated distribution, for analysis
+// that needs exact merging across histograms (per-layer percentiles).
+func (h *Histogram) Dist() stats.Dist {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.d.Clone()
+}
+
 // Snapshot summarizes the distribution so far.
 func (h *Histogram) Snapshot() HistSnapshot {
 	h.mu.Lock()
@@ -150,6 +176,7 @@ type metric struct {
 	counter *Counter
 	gauge   *Gauge
 	hist    *Histogram
+	series  *Series
 	// funcs are snapshot-time collectors; their values sum. They let
 	// components publish pre-existing Stats fields without touching hot
 	// paths, and multiple mounts sharing one registry accumulate.
@@ -161,11 +188,29 @@ type metric struct {
 type Registry struct {
 	mu      sync.Mutex
 	metrics map[string]*metric
+	events  *EventLog
 }
 
 // NewRegistry builds an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{metrics: make(map[string]*metric)}
+}
+
+// Events returns the registry's bounded structured event log, creating it
+// on first use. Every component instrumented into the registry shares one
+// log, so a run's rare events (retries, faults, evictions, preemptions)
+// interleave on a single timeline. Safe on a nil registry (returns a nil
+// log, whose methods are no-ops).
+func (r *Registry) Events() *EventLog {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.events == nil {
+		r.events = NewEventLog(DefaultMaxEvents)
+	}
+	return r.events
 }
 
 // key builds the registry key for a name+labels pair.
@@ -225,6 +270,46 @@ func (r *Registry) Histogram(name string, labels Labels) *Histogram {
 	return m.hist
 }
 
+// Series returns the windowed time-series for name+labels, creating it on
+// first use with the given window width and ring capacity (non-positive
+// values take the defaults). Components sharing an identity — several
+// mounts on one registry — observe into the same series, merging their
+// samples per window; the creation-time window/capacity of the first
+// registration wins.
+func (r *Registry) Series(name string, labels Labels, window sim.Ns, buckets int) *Series {
+	m := r.lookup(name, labels, KindSeries)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m.series == nil {
+		m.series = newSeries(window, buckets)
+	}
+	return m.series
+}
+
+// Histograms calls fn for every registered histogram with a deep copy of
+// its distribution, in name-then-labels order. It is the raw-sample export
+// the per-layer percentile aggregation is built on (HistSnapshot summaries
+// cannot be merged exactly).
+func (r *Registry) Histograms(fn func(name string, labels Labels, d stats.Dist)) {
+	r.mu.Lock()
+	list := make([]*metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		if m.hist != nil {
+			list = append(list, m)
+		}
+	}
+	r.mu.Unlock()
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].name != list[j].name {
+			return list[i].name < list[j].name
+		}
+		return list[i].labels < list[j].labels
+	})
+	for _, m := range list {
+		fn(m.name, ParseLabels(m.labels), m.hist.Dist())
+	}
+}
+
 // CounterFunc registers a snapshot-time collector rendered as a counter.
 // Multiple registrations under one identity sum — the natural semantics
 // when several mounts share a registry.
@@ -246,11 +331,12 @@ func (r *Registry) GaugeFunc(name string, labels Labels, fn func() int64) {
 
 // MetricSnapshot is one metric's state at snapshot time.
 type MetricSnapshot struct {
-	Name   string        `json:"name"`
-	Labels string        `json:"labels,omitempty"`
-	Kind   Kind          `json:"kind"`
-	Value  int64         `json:"value,omitempty"`
-	Hist   *HistSnapshot `json:"hist,omitempty"`
+	Name   string          `json:"name"`
+	Labels string          `json:"labels,omitempty"`
+	Kind   Kind            `json:"kind"`
+	Value  int64           `json:"value,omitempty"`
+	Hist   *HistSnapshot   `json:"hist,omitempty"`
+	Series *SeriesSnapshot `json:"series,omitempty"`
 }
 
 // Snapshot returns every metric's current state, sorted by name then
@@ -281,6 +367,9 @@ func (r *Registry) Snapshot() []MetricSnapshot {
 		case p.m.hist != nil:
 			h := p.m.hist.Snapshot()
 			snap.Hist = &h
+		case p.m.series != nil:
+			s := p.m.series.Snapshot()
+			snap.Series = &s
 		default:
 			var v int64
 			if p.m.counter != nil {
@@ -306,47 +395,93 @@ func (r *Registry) Snapshot() []MetricSnapshot {
 }
 
 // WriteText renders the registry as aligned tables: scalar metrics first,
-// then histograms with their latency summary columns.
+// then histograms with their latency summary columns, then time-series
+// summaries and the structured event totals.
 func (r *Registry) WriteText(w io.Writer) error {
 	snaps := r.Snapshot()
 	scalars := stats.NewTable("metric", "labels", "kind", "value")
 	hists := stats.NewTable("histogram", "labels", "count", "mean", "p50", "p95", "p99", "max")
-	var nScalar, nHist int
+	series := stats.NewTable("series", "labels", "window ms", "windows", "sum", "dropped")
+	var nScalar, nHist, nSeries int
 	for _, s := range snaps {
-		if s.Hist != nil {
+		switch {
+		case s.Hist != nil:
 			nHist++
 			hists.AddRowf(s.Name, s.Labels, s.Hist.Count,
 				fmt.Sprintf("%.0f", s.Hist.Mean), s.Hist.P50, s.Hist.P95, s.Hist.P99, s.Hist.Max)
-		} else {
+		case s.Series != nil:
+			nSeries++
+			var sum int64
+			for _, b := range s.Series.Buckets {
+				sum += b.Sum
+			}
+			series.AddRowf(s.Name, s.Labels,
+				fmt.Sprintf("%.1f", sim.Seconds(s.Series.WindowNs)*1e3),
+				len(s.Series.Buckets), sum, s.Series.Dropped)
+		default:
 			nScalar++
 			scalars.AddRowf(s.Name, s.Labels, string(s.Kind), s.Value)
 		}
 	}
-	if nScalar > 0 {
-		if err := scalars.Render(w); err != nil {
-			return err
+	sections := 0
+	render := func(n int, t *stats.Table) error {
+		if n == 0 {
+			return nil
 		}
-	}
-	if nHist > 0 {
-		if nScalar > 0 {
+		if sections > 0 {
 			if _, err := fmt.Fprintln(w); err != nil {
 				return err
 			}
 		}
-		if err := hists.Render(w); err != nil {
+		sections++
+		return t.Render(w)
+	}
+	if err := render(nScalar, scalars); err != nil {
+		return err
+	}
+	if err := render(nHist, hists); err != nil {
+		return err
+	}
+	if err := render(nSeries, series); err != nil {
+		return err
+	}
+	if counts := r.Events().Counts(); len(counts) > 0 {
+		events := stats.NewTable("event", "kind", "count")
+		for _, c := range counts {
+			events.AddRowf(c.Layer, c.Kind, c.Count)
+		}
+		if err := render(len(counts), events); err != nil {
 			return err
 		}
 	}
-	if nScalar == 0 && nHist == 0 {
+	if sections == 0 {
 		_, err := fmt.Fprintln(w, "(no metrics registered)")
 		return err
 	}
 	return nil
 }
 
-// WriteJSON writes the snapshot as indented JSON.
+// RegistryDoc is the JSON-exporter document: the metric snapshot plus the
+// structured event log.
+type RegistryDoc struct {
+	Metrics []MetricSnapshot `json:"metrics"`
+	Events  *EventsSnapshot  `json:"events,omitempty"`
+}
+
+// Doc builds the exporter document. The event section is omitted when no
+// events were recorded, keeping event-free snapshots compact.
+func (r *Registry) Doc() RegistryDoc {
+	doc := RegistryDoc{Metrics: r.Snapshot()}
+	if ev := r.Events().Snapshot(); len(ev.Counts) > 0 {
+		doc.Events = &ev
+	}
+	return doc
+}
+
+// WriteJSON writes the registry document (metrics + events) as indented
+// JSON.
 func (r *Registry) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(r.Snapshot())
+	return enc.Encode(r.Doc())
 }

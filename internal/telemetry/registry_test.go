@@ -120,11 +120,27 @@ func TestWriteTextAndJSON(t *testing.T) {
 	if err := r.WriteJSON(&js); err != nil {
 		t.Fatal(err)
 	}
-	var snaps []MetricSnapshot
-	if err := json.Unmarshal(js.Bytes(), &snaps); err != nil {
+	var doc RegistryDoc
+	if err := json.Unmarshal(js.Bytes(), &doc); err != nil {
 		t.Fatalf("WriteJSON produced invalid JSON: %v", err)
 	}
-	if len(snaps) != 2 {
-		t.Fatalf("decoded %d metrics, want 2", len(snaps))
+	if len(doc.Metrics) != 2 {
+		t.Fatalf("decoded %d metrics, want 2", len(doc.Metrics))
+	}
+	if doc.Events != nil {
+		t.Fatalf("event-free registry should omit the events section, got %+v", doc.Events)
+	}
+
+	r.Events().Emit(10, "rpc", "retry", "obj-write")
+	js.Reset()
+	if err := r.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	doc = RegistryDoc{}
+	if err := json.Unmarshal(js.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Events == nil || len(doc.Events.Counts) != 1 || doc.Events.Counts[0].Count != 1 {
+		t.Fatalf("events section = %+v", doc.Events)
 	}
 }

@@ -1,0 +1,125 @@
+package telemetry
+
+import (
+	"testing"
+
+	"redbud/internal/sim"
+)
+
+func TestSeriesBoundaryAlignment(t *testing.T) {
+	s := newSeries(100, 8)
+	// A sample at exactly k*window belongs to window k: [k*w, (k+1)*w).
+	s.Add(99, 1)  // window 0
+	s.Add(100, 2) // window 1
+	s.Add(199, 3) // window 1
+	s.Add(200, 4) // window 2
+	snap := s.Snapshot()
+	if snap.StartNs != 0 || len(snap.Buckets) != 3 {
+		t.Fatalf("snapshot start=%d buckets=%d, want 0/3", snap.StartNs, len(snap.Buckets))
+	}
+	want := []SeriesBucket{{Sum: 1, N: 1, Last: 1}, {Sum: 5, N: 2, Last: 3}, {Sum: 4, N: 1, Last: 4}}
+	for i, b := range snap.Buckets {
+		if b != want[i] {
+			t.Errorf("bucket %d = %+v, want %+v", i, b, want[i])
+		}
+	}
+}
+
+func TestSeriesInteriorGapsPreserved(t *testing.T) {
+	s := newSeries(10, 8)
+	s.Add(5, 1)  // window 0
+	s.Add(25, 1) // window 2; window 1 never sampled
+	snap := s.Snapshot()
+	if len(snap.Buckets) != 3 {
+		t.Fatalf("buckets = %d, want 3 (gap kept as zero bucket)", len(snap.Buckets))
+	}
+	if snap.Buckets[1] != (SeriesBucket{}) {
+		t.Fatalf("gap bucket = %+v, want zero", snap.Buckets[1])
+	}
+}
+
+func TestSeriesWraparound(t *testing.T) {
+	s := newSeries(10, 4)
+	for i := 0; i < 4; i++ {
+		s.Add(sim.Ns(i*10+5), int64(i+1)) // windows 0..3, ring full
+	}
+	if got := s.Snapshot(); got.Dropped != 0 || len(got.Buckets) != 4 {
+		t.Fatalf("pre-wrap snapshot = %+v", got)
+	}
+
+	// Window 4 evicts non-empty window 0 (counted as dropped).
+	s.Add(45, 9)
+	snap := s.Snapshot()
+	if snap.Dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", snap.Dropped)
+	}
+	if snap.StartNs != 10 || len(snap.Buckets) != 4 {
+		t.Fatalf("post-wrap start=%d buckets=%d, want 10/4", snap.StartNs, len(snap.Buckets))
+	}
+	if snap.Buckets[0].Sum != 2 || snap.Buckets[3].Sum != 9 {
+		t.Fatalf("post-wrap buckets = %+v", snap.Buckets)
+	}
+
+	// A late sample older than the retained range is dropped, not recorded.
+	s.Add(5, 100)
+	snap = s.Snapshot()
+	if snap.Dropped != 2 {
+		t.Fatalf("dropped after late sample = %d, want 2", snap.Dropped)
+	}
+	if snap.Buckets[0].Sum != 2 {
+		t.Fatalf("late sample mutated retained bucket: %+v", snap.Buckets[0])
+	}
+}
+
+func TestSeriesSkipAheadEvictsAll(t *testing.T) {
+	s := newSeries(10, 4)
+	s.Add(5, 1)
+	s.Add(1000, 2) // window 100, far past the ring: everything evicted
+	snap := s.Snapshot()
+	if len(snap.Buckets) != 4 || snap.Buckets[3].Sum != 2 {
+		t.Fatalf("snapshot = %+v, want 4 buckets ending in sum=2", snap)
+	}
+	if snap.StartNs != 970 {
+		t.Fatalf("start = %d, want 970 (lo advanced to window 97)", snap.StartNs)
+	}
+	if snap.Dropped != 1 {
+		t.Fatalf("dropped = %d, want 1 (only the non-empty window counts)", snap.Dropped)
+	}
+}
+
+func TestSeriesNilSafe(t *testing.T) {
+	var s *Series
+	s.Add(10, 1)
+	s.Set(20, 2)
+}
+
+func TestRegistrySeriesIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Series("pfs_write_blocks", Labels{"fs": "x"}, 100, 16)
+	// A second registration under the same identity returns the same
+	// series — the duplicated-telemetry path (two mounts of one registry)
+	// merges by construction. The first registration's geometry wins.
+	b := r.Series("pfs_write_blocks", Labels{"fs": "x"}, 999, 4)
+	if a != b {
+		t.Fatal("same identity must return the same series")
+	}
+	if b.Window() != 100 {
+		t.Fatalf("window = %d, want first registration's 100", b.Window())
+	}
+	a.Add(150, 7)
+
+	snaps := r.Snapshot()
+	if len(snaps) != 1 || snaps[0].Series == nil {
+		t.Fatalf("snapshot = %+v, want one series metric", snaps)
+	}
+	if n := len(snaps[0].Series.Buckets); n != 1 {
+		t.Fatalf("series buckets = %d, want 1", n)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a series name as a counter should panic")
+		}
+	}()
+	r.Counter("pfs_write_blocks", Labels{"fs": "x"})
+}

@@ -8,6 +8,7 @@ import (
 	"redbud/internal/mdfs"
 	"redbud/internal/mds"
 	"redbud/internal/sim"
+	"redbud/internal/telemetry"
 )
 
 // AgingConfig parameterizes the Figure 9 experiment: "to achieve aging,
@@ -27,6 +28,11 @@ type AgingConfig struct {
 	MeasureFiles int
 	// Seed drives the churn.
 	Seed uint64
+	// Metrics, when set, receives the MDS server's telemetry (labeled by
+	// workload and config); Trace, when set, records the server's spans
+	// and advances the trace clock by the simulated work.
+	Metrics *telemetry.Registry
+	Trace   *telemetry.Tracer
 }
 
 // DefaultAgingConfig returns the Figure 9 shape.
@@ -78,6 +84,15 @@ func RunAging(cfg AgingConfig) (AgingResult, error) {
 	srv, err := mds.New(agingFSConfig(cfg))
 	if err != nil {
 		return AgingResult{}, err
+	}
+	if cfg.Metrics != nil {
+		name := metaratesName(MetaratesConfig{Layout: cfg.Layout, Htree: cfg.Htree})
+		labels := telemetry.Labels{"workload": "aging", "config": name,
+			"util": fmt.Sprintf("%.2f", cfg.TargetUtilization)}
+		srv.Instrument(cfg.Metrics, labels.With("layer", "mds"))
+	}
+	if cfg.Trace != nil {
+		srv.SetTracer(cfg.Trace)
 	}
 	fs := srv.FS()
 	rng := sim.NewRand(cfg.Seed)

@@ -98,12 +98,21 @@ func rpcCount(reg *telemetry.Registry, op string) int64 {
 }
 
 // runCacheArm executes the deterministic write+re-read sequence on one
-// fresh mount and measures it through a private registry (so arms never
-// share counters).
+// fresh mount. An uninstrumented caller gets a private registry (so arms
+// never share counters); a caller-supplied registry is used directly —
+// the arms' mounts are renamed so their metrics stay distinguishable, and
+// all RPC counts are measured as before/after deltas.
 func runCacheArm(fsCfg pfs.Config, cfg CacheBenchConfig, withCache bool) (CacheArmResult, error) {
 	res := CacheArmResult{CacheOn: withCache}
-	reg := telemetry.NewRegistry()
-	fsCfg.Metrics = reg
+	reg := fsCfg.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+		fsCfg.Metrics = reg
+	} else if withCache {
+		fsCfg.Name += "/cache-on"
+	} else {
+		fsCfg.Name += "/cache-off"
+	}
 	if withCache {
 		cc := cfg.Cache
 		fsCfg.Cache = &cc
@@ -119,6 +128,7 @@ func runCacheArm(fsCfg pfs.Config, cfg CacheBenchConfig, withCache bool) (CacheA
 	// arrival order that provokes intra-file fragmentation, closed by the
 	// Sync barrier (the cached arm's write-backs land inside the phase).
 	fs.ResetDataStats()
+	writeBefore := rpcCount(reg, "obj-write")
 	files := make([]*pfs.File, cfg.Files)
 	for i := range files {
 		f, err := fs.Create(fs.Root(), fmt.Sprintf("cache%02d.dat", i), 0)
@@ -142,7 +152,7 @@ func runCacheArm(fsCfg pfs.Config, cfg CacheBenchConfig, withCache bool) (CacheA
 	if err := fs.Sync(); err != nil {
 		return res, err
 	}
-	res.WriteRPCs = rpcCount(reg, "obj-write")
+	res.WriteRPCs = rpcCount(reg, "obj-write") - writeBefore
 	res.WritePositionings = fs.DataStats().Positionings
 	bytes := int64(cfg.Files) * cfg.FileBlocks * fs.Config().OST.Disk.BlockSize
 	res.WriteMBps = sim.MBps(bytes, fs.DataBusyMax())

@@ -8,6 +8,7 @@ import (
 	"redbud/internal/mds"
 	"redbud/internal/sim"
 	"redbud/internal/stats"
+	"redbud/internal/telemetry"
 )
 
 // MetaratesConfig parameterizes the Metarates runs of Figure 8: "an MPI
@@ -31,6 +32,11 @@ type MetaratesConfig struct {
 	SpillDegree float64
 	// Seed drives the client interleaving.
 	Seed uint64
+	// Metrics, when set, receives the MDS server's telemetry (labeled by
+	// workload and config); Trace, when set, records the server's spans
+	// and advances the trace clock by the simulated work.
+	Metrics *telemetry.Registry
+	Trace   *telemetry.Tracer
 }
 
 // DefaultMetaratesConfig returns the paper's Metarates shape at a
@@ -91,6 +97,13 @@ func RunMetarates(cfg MetaratesConfig) (MetaratesResult, error) {
 	srv, err := mds.New(mcfg)
 	if err != nil {
 		return MetaratesResult{}, err
+	}
+	if cfg.Metrics != nil {
+		labels := telemetry.Labels{"workload": "metarates", "config": metaratesName(cfg)}
+		srv.Instrument(cfg.Metrics, labels.With("layer", "mds"))
+	}
+	if cfg.Trace != nil {
+		srv.SetTracer(cfg.Trace)
 	}
 	fs := srv.FS()
 
