@@ -33,15 +33,19 @@ race:
 # off vs on over the same request sequence), an offline check of a
 # crash-consistent metadata image saved after a defrag-style rewrite, an
 # offline check of an image populated through a client-cached mount (the
-# flush barriers wrote all of its metadata), and a trace replay under
+# flush barriers wrote all of its metadata), a trace replay under
 # injected message loss proving every op completes through the rpc retry
-# path. The duplicated mifbench telemetry runs guard determinism: two
-# identical cache-off invocations must produce byte-identical snapshots.
+# path, and the failover benchmark (an OST blackholed mid-write under
+# 3-way replication: zero client errors, redundancy re-replicated onto the
+# survivors). The duplicated mifbench telemetry runs guard determinism:
+# two identical cache-off invocations must produce byte-identical
+# snapshots.
 smoke:
 	@dir=$$(mktemp -d) && trap 'rm -rf "$$dir"' EXIT && \
 	$(GO) build -o "$$dir" ./cmd/mifbench ./cmd/miffsck ./cmd/miftrace && \
 	"$$dir/mifbench" -scale 0.25 defrag && \
 	"$$dir/mifbench" -scale 0.25 cache && \
+	"$$dir/mifbench" -scale 0.25 failover && \
 	"$$dir/mifbench" -scale 0.25 -telemetry "$$dir/t1.json" fig6a > /dev/null && \
 	"$$dir/mifbench" -scale 0.25 -telemetry "$$dir/t2.json" fig6a > /dev/null && \
 	cmp "$$dir/t1.json" "$$dir/t2.json" && \

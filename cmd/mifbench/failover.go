@@ -1,0 +1,46 @@
+package main
+
+import (
+	"fmt"
+
+	"redbud/internal/pfs"
+	"redbud/internal/sim"
+	"redbud/internal/workload"
+)
+
+// runFailover measures object replication under an OST crash: an IOR-style
+// write phase over 3-way-replicated files with one server blackholed
+// midway, a full read-back while it is still dark (reads steer to live
+// replicas), and a background re-replication drain that rebuilds the lost
+// copies on the survivors. The run hard-fails on any client-visible I/O
+// error or if redundancy is not fully restored.
+func runFailover(scale float64) error {
+	header("Failover: OST crash under 3-way replication (steering + re-replication)")
+	cfg := workload.DefaultFailoverBenchConfig()
+	cfg.FileBlocks = int64(float64(cfg.FileBlocks) * scale)
+	if cfg.FileBlocks < cfg.RequestBlocks {
+		cfg.FileBlocks = cfg.RequestBlocks
+	}
+	fmt.Printf("%-10s %3s %5s %11s %11s %9s %7s %9s %8s %10s\n",
+		"profile", "rf", "crash", "write", "read", "failovers", "skips", "repaired", "repairs", "t-repair")
+	for _, fsCfg := range []pfs.Config{
+		instrumented(pfs.MiF(6)),
+		instrumented(pfs.RedbudOrig(6)),
+	} {
+		res, err := workload.RunFailoverBench(fsCfg, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-10s %3d ost%-2d %6.1f MB/s %6.1f MB/s %9d %7d %9d %8d %9.1fms\n",
+			res.Config, res.RF, cfg.CrashOST,
+			res.WriteMBps, res.ReadMBps,
+			res.Stats.Failovers, res.Stats.SkippedWrites,
+			res.Stats.RepairBlocks, res.Stats.RepairsDone,
+			float64(res.TimeToRedundancyNs)/float64(sim.Millisecond))
+		fmt.Printf("%-10s   under-replicated peak %d, steered reads %d, fan-out writes %d, repair slices %d (preempted %d, throttled %d)\n",
+			res.Config, res.UnderReplPeak, res.Stats.SteeredReads, res.Stats.FanoutWrites,
+			res.Stats.RepairSlices, res.Stats.Preempted, res.Stats.Throttled)
+	}
+	fmt.Println("writes fan out to all live replicas, reads steer around the dead server, and the repair engine restores rf on the survivors")
+	return nil
+}

@@ -17,6 +17,7 @@
 //	ablation design-choice sweeps beyond the paper
 //	defrag   online-defragmentation recovery after aging
 //	cache    client block cache off vs on (write-back aggregation, re-reads)
+//	failover OST crash under replication (steering + re-replication)
 //	all      everything above in order
 //
 // With -telemetry <file>, every data-path mount is instrumented into a
@@ -86,7 +87,7 @@ func main() {
 		return
 	}
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mifbench [flags] {fig6a|fig6b|fig7|table1|fig8|fig9|fig10|ablation|defrag|cache|all}\n")
+		fmt.Fprintf(os.Stderr, "usage: mifbench [flags] {fig6a|fig6b|fig7|table1|fig8|fig9|fig10|ablation|defrag|cache|failover|all}\n")
 		fmt.Fprintf(os.Stderr, "       mifbench compare [-tolerance frac] [-warn-only] [-v] <old.json> <new.json>\n")
 		flag.PrintDefaults()
 	}
@@ -129,8 +130,9 @@ func main() {
 		"ablation": runAblation,
 		"defrag":   runDefrag,
 		"cache":    runCache,
+		"failover": runFailover,
 	}
-	var order = []string{"fig6a", "fig6b", "fig7", "table1", "fig8", "fig9", "fig10", "ablation", "defrag", "cache"}
+	var order = []string{"fig6a", "fig6b", "fig7", "table1", "fig8", "fig9", "fig10", "ablation", "defrag", "cache", "failover"}
 	if exp != "all" {
 		if _, ok := runners[exp]; !ok {
 			flag.Usage()

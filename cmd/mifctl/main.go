@@ -20,11 +20,22 @@
 //	sync
 //	report
 //	stats
+//	crash <ost>
+//	revive <ost>
+//	repair
+//	replicas <path>
 //
 // With -cache, the mount carries the client-side block cache: writes are
 // absorbed and aggregated client-side until a barrier (`sync`, delete, or
 // an implicit close/truncate) writes them back, and `report` adds a cache
 // line. The layer=cache metrics appear in `stats`.
+//
+// With -rf N (N > 1), every stripe component carries an N-way replica set:
+// writes fan out to all live copies, reads steer to the least-loaded one,
+// and `crash`/`revive` blackhole and restore an IO server. `repair` drains
+// the background re-replication engine, `replicas <path>` prints a file's
+// per-component replica sets, and `report` adds per-OST placement and
+// replica-state lines. The layer=replica metrics appear in `stats`.
 //
 // Every mount is instrumented into a telemetry registry; `stats` dumps the
 // live registry (counters, gauges, per-layer latency histograms, time
@@ -60,6 +71,8 @@ import (
 	"redbud/internal/core"
 	"redbud/internal/inode"
 	"redbud/internal/pfs"
+	"redbud/internal/replica"
+	"redbud/internal/rpc"
 	"redbud/internal/sim"
 	"redbud/internal/telemetry"
 )
@@ -69,6 +82,7 @@ func main() {
 	layout := flag.String("layout", "embedded", "directory layout: normal|embedded")
 	osts := flag.Int("osts", 4, "number of IO servers")
 	cacheOn := flag.Bool("cache", false, "mount with the client-side block cache (default tuning)")
+	rf := flag.Int("rf", 1, "replication factor: N-way replica sets when > 1 (enables crash/revive/repair/replicas)")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the session to this file")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -98,6 +112,16 @@ func main() {
 		cc := cache.DefaultConfig()
 		cfg.Cache = &cc
 		cfg.Name += "+cache"
+	}
+	if *rf > 1 {
+		rc := replica.DefaultConfig()
+		rc.RF = *rf
+		cfg.Replication = &rc
+		// crash/revive need the fault transport; zero rates keep the wire
+		// fault-free otherwise.
+		cfg.RPC.Fault = &rpc.FaultConfig{Seed: 1}
+		cfg.RPC.Retry = &rpc.RetryPolicy{TimeoutNs: 2 * sim.Millisecond, MaxRetries: 2}
+		cfg.Name += fmt.Sprintf("+rf%d", *rf)
 	}
 
 	reg := telemetry.NewRegistry()
@@ -294,6 +318,23 @@ func (s *session) exec(out io.Writer, f []string) error {
 			fmt.Fprintf(out, "cache: %d hits, %d misses, %d dirty, %d cached, %d write-backs (%d blocks), %d evicted\n",
 				cs.HitBlocks, cs.MissBlocks, cs.DirtyBlocks, cs.CachedBlocks, cs.Writebacks, cs.WritebackBlocks, cs.EvictedBlocks)
 		}
+		// Per-OST placement: how objects and used capacity spread over the
+		// servers (the balance the replica spread policy optimizes).
+		fmt.Fprint(out, "placement:")
+		for i := 0; i < s.fs.OSTs(); i++ {
+			srv := s.fs.OST(i)
+			fmt.Fprintf(out, " ost%d %d objs/%d blks", i, srv.ObjectCount(), srv.UsedBlocks())
+			if mgr := s.fs.Replication(); mgr != nil && mgr.Down(i) {
+				fmt.Fprint(out, " DOWN")
+			}
+		}
+		fmt.Fprintln(out)
+		if mgr := s.fs.Replication(); mgr != nil {
+			rs := mgr.Stats()
+			fmt.Fprintf(out, "replica: rf=%d, %d components (%d under-replicated), %d osts down, %d fan-out writes, %d skipped, %d steered reads, %d failovers, %d repairs (%d blocks)\n",
+				mgr.RF(), mgr.Components(), mgr.UnderReplicated(), mgr.DownCount(),
+				rs.FanoutWrites, rs.SkippedWrites, rs.SteeredReads, rs.Failovers, rs.RepairsDone, rs.RepairBlocks)
+		}
 		// Per-layer latency breakdown: attribute the session's request
 		// latency to layers via the span critical-path analyzer.
 		if rep := telemetry.AnalyzeCritPath(s.tr.Spans(), 0); rep.Roots > 0 {
@@ -343,6 +384,53 @@ func (s *session) exec(out io.Writer, f []string) error {
 		}
 		fmt.Fprintf(out, "defrag: migrated %d objects, moved %d blocks in %d slices, device busy %.2f ms\n",
 			st.ObjectsMigrated, st.BlocksMoved, st.Slices, sim.Seconds(st.MoveNs)*1e3)
+		return nil
+	case "crash":
+		return s.fs.CrashOST(int(num(1)))
+	case "revive":
+		return s.fs.ReviveOST(int(num(1)))
+	case "repair":
+		mgr := s.fs.Replication()
+		if mgr == nil {
+			return fmt.Errorf("mount is not replicated (run with -rf)")
+		}
+		before := mgr.Stats()
+		if err := s.fs.RepairDrain(); err != nil {
+			return err
+		}
+		after := mgr.Stats()
+		fmt.Fprintf(out, "repair: %d jobs, %d blocks in %d slices, %d components still under-replicated\n",
+			after.RepairsDone-before.RepairsDone, after.RepairBlocks-before.RepairBlocks,
+			after.RepairSlices-before.RepairSlices, mgr.UnderReplicated())
+		return nil
+	case "replicas":
+		mgr := s.fs.Replication()
+		if mgr == nil {
+			return fmt.Errorf("mount is not replicated (run with -rf)")
+		}
+		h, err := s.handle(arg(1))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s: rf=%d\n", arg(1), mgr.RF())
+		for c := 0; c < s.fs.OSTs(); c++ {
+			members, obj, ok := mgr.Members(h.Ino(), c)
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(out, "  comp%d obj%d:", c, obj)
+			for _, m := range members {
+				state := ""
+				if m.Down {
+					state += "!down"
+				}
+				if m.Stale {
+					state += "!stale"
+				}
+				fmt.Fprintf(out, " ost%d%s", m.OST, state)
+			}
+			fmt.Fprintln(out)
+		}
 		return nil
 	default:
 		return fmt.Errorf("unknown op %q", f[0])

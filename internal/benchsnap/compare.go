@@ -32,6 +32,10 @@ var costMetrics = []string{
 	"disk_positionings", "disk_requests", "rpc_calls", "rpc_errors",
 	"rpc_retries", "rpc_timeouts", "rpc_exhausted", "mds_rpcs",
 	"mds_cpu_ns", "net_bytes",
+	// Replication costs: amplification, failure handling, and repair work
+	// are all budgeted — unexpected growth is a regression.
+	"replica_fanout_writes", "replica_skipped_writes", "replica_failovers",
+	"replica_ost_down_events", "replica_repair_blocks", "replica_repair_slices",
 }
 
 // Classify assigns a metric key (e.g. "sim_ns", "layer/rpc/p99_ns",

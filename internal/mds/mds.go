@@ -11,6 +11,7 @@ import (
 	"redbud/internal/extent"
 	"redbud/internal/inode"
 	"redbud/internal/mdfs"
+	"redbud/internal/replica"
 	"redbud/internal/sim"
 	"redbud/internal/telemetry"
 )
@@ -54,6 +55,11 @@ type Server struct {
 	cfg   Config
 	fs    *mdfs.FS
 	stats Stats
+
+	// replicaSets is the replica layout table of replicated mounts: one
+	// replica set (distinct OST indices) per stripe component, keyed by
+	// inode. Unreplicated mounts never touch it.
+	replicaSets map[inode.Ino][][]int
 
 	// rpcHist, when attached, observes the modeled service cost (CPU) of
 	// every RPC. tracer records per-RPC spans on the simulated timeline;
@@ -260,3 +266,49 @@ func (s *Server) CPUUtilization(elapsed sim.Ns) float64 {
 
 // Sync flushes the metadata file system.
 func (s *Server) Sync() error { return s.fs.Sync() }
+
+// PlaceReplicas runs the spread policy over the client's capacity/load
+// observations and records the resulting per-component replica sets in
+// the layout table. The mapping work scales with the entries placed, like
+// every other layout operation.
+func (s *Server) PlaceReplicas(ino inode.Ino, comps, rf int, in []replica.PlaceInput) ([][]int, error) {
+	s.rpc("place-replicas")
+	sets, err := replica.Spread(rf, comps, in)
+	if err != nil {
+		return nil, err
+	}
+	s.extentWork(comps * rf)
+	if s.replicaSets == nil {
+		s.replicaSets = make(map[inode.Ino][][]int)
+	}
+	s.replicaSets[ino] = sets
+	return sets, nil
+}
+
+// GetReplicaLayout returns a file's recorded replica sets.
+func (s *Server) GetReplicaLayout(ino inode.Ino) ([][]int, error) {
+	s.rpc("get-replica-layout")
+	sets, ok := s.replicaSets[ino]
+	if !ok {
+		return nil, fmt.Errorf("mds: inode %d has no replica layout", uint64(ino))
+	}
+	var n int
+	for _, set := range sets {
+		n += len(set)
+	}
+	s.extentWork(n)
+	return sets, nil
+}
+
+// SetReplicaLayout replaces one component's replica set — the commit a
+// completed re-replication publishes.
+func (s *Server) SetReplicaLayout(ino inode.Ino, comp int, replicas []int) error {
+	s.rpc("set-replica-layout")
+	sets, ok := s.replicaSets[ino]
+	if !ok || comp < 0 || comp >= len(sets) {
+		return fmt.Errorf("mds: inode %d has no replica component %d", uint64(ino), comp)
+	}
+	s.extentWork(len(replicas))
+	sets[comp] = append([]int(nil), replicas...)
+	return nil
+}

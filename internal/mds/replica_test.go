@@ -1,0 +1,59 @@
+package mds
+
+import (
+	"testing"
+
+	"redbud/internal/mdfs"
+	"redbud/internal/replica"
+)
+
+func TestReplicaLayoutRoundTrip(t *testing.T) {
+	s := newServer(t, mdfs.LayoutEmbedded)
+	ino, err := s.Create(s.Root(), "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []replica.PlaceInput{
+		{OST: 0, FreeBlocks: 100}, {OST: 1, FreeBlocks: 100},
+		{OST: 2, FreeBlocks: 100}, {OST: 3, FreeBlocks: 100},
+	}
+	sets, err := s.PlaceReplicas(ino, 4, 2, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 4 {
+		t.Fatalf("placed %d components, want 4", len(sets))
+	}
+	got, err := s.GetReplicaLayout(ino)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range sets {
+		if len(got[c]) != len(sets[c]) {
+			t.Fatalf("comp %d: %v vs placed %v", c, got[c], sets[c])
+		}
+		for i := range sets[c] {
+			if got[c][i] != sets[c][i] {
+				t.Fatalf("comp %d: %v vs placed %v", c, got[c], sets[c])
+			}
+		}
+	}
+	// A repair commit replaces one component's set.
+	if err := s.SetReplicaLayout(ino, 2, []int{3, 0}); err != nil {
+		t.Fatal(err)
+	}
+	got, err = s.GetReplicaLayout(ino)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got[2]) != 2 || got[2][0] != 3 || got[2][1] != 0 {
+		t.Fatalf("comp 2 after commit = %v, want [3 0]", got[2])
+	}
+	// Errors: unknown inode, out-of-range component.
+	if _, err := s.GetReplicaLayout(ino + 1000); err == nil {
+		t.Fatal("layout of an unplaced inode must fail")
+	}
+	if err := s.SetReplicaLayout(ino, 9, []int{0}); err == nil {
+		t.Fatal("commit to a component outside the layout must fail")
+	}
+}

@@ -10,6 +10,7 @@ package ost
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"redbud/internal/alloc"
@@ -195,6 +196,7 @@ func (s *Server) Instrument(reg *telemetry.Registry, labels telemetry.Labels) {
 		return s.pendingWrite
 	})
 	reg.GaugeFunc("ost_buffered_blocks", labels, func() int64 { return s.BufferedBlocks() })
+	reg.GaugeFunc("ost_objects", labels, func() int64 { return s.ObjectCount() })
 	reg.CounterFunc("ost_prefetch_hit_blocks", labels, func() int64 { return s.PrefetchHits() })
 }
 
@@ -546,6 +548,45 @@ func (s *Server) CloseObject(id ObjectID) error {
 	}
 	o.policy.Close()
 	return nil
+}
+
+// WrittenRuns returns the maximal runs of written logical blocks, sorted
+// by logical address — the copy manifest a replica repair works from
+// (holes and preallocated-but-unwritten space carry no data and are
+// skipped).
+func (s *Server) WrittenRuns(id ObjectID) ([]alloc.Range, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, err := s.object(id)
+	if err != nil {
+		return nil, err
+	}
+	blocks := make([]int64, 0, len(o.written))
+	for l := range o.written {
+		blocks = append(blocks, l)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	var runs []alloc.Range
+	for _, l := range blocks {
+		if n := len(runs); n > 0 && runs[n-1].End() == l {
+			runs[n-1].Count++
+		} else {
+			runs = append(runs, alloc.Range{Start: l, Count: 1})
+		}
+	}
+	return runs, nil
+}
+
+// ObjectCount returns the number of objects resident on the server.
+func (s *Server) ObjectCount() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int64(len(s.objects))
+}
+
+// UsedBlocks returns the allocated (non-free) block count of the volume.
+func (s *Server) UsedBlocks() int64 {
+	return s.cfg.Blocks - s.alloc.FreeBlocks()
 }
 
 // ExtentCount returns the object's segment count (Table I's currency).

@@ -23,6 +23,7 @@ import (
 	"redbud/internal/mds"
 	"redbud/internal/netsim"
 	"redbud/internal/ost"
+	"redbud/internal/replica"
 	"redbud/internal/rpc"
 	"redbud/internal/sim"
 	"redbud/internal/telemetry"
@@ -96,6 +97,13 @@ type Config struct {
 	// sequential readers trigger adaptive readahead. Nil (the default)
 	// keeps the mount write-through, so existing runs stay byte-identical.
 	Cache *cache.Config
+	// Replication, when set with RF > 1, gives every stripe component an
+	// N-way replica set: writes fan out to all live copies, reads steer to
+	// the least-loaded one (failing over on RPC errors), and a background
+	// re-replication engine restores redundancy after an OST crash. Nil or
+	// RF <= 1 keeps the mount on the unreplicated path, byte-identical to
+	// runs without this field.
+	Replication *replica.Config
 	// Metrics, when set, instruments the mount into the registry at New
 	// time (labeled with the configuration Name). Multiple mounts may share
 	// one registry; their counters sum.
@@ -174,8 +182,9 @@ type FS struct {
 	conn    *rpc.Conn      // transport stack: retry → faults → network
 	mdsc    *rpc.MDSClient
 	ostc    []*rpc.OSTClient
-	defrag  *defrag.Engine // online defragmentation, one controller per OST
-	cache   *cache.Cache   // client block cache, nil on write-through mounts
+	defrag  *defrag.Engine   // online defragmentation, one controller per OST
+	cache   *cache.Cache     // client block cache, nil on write-through mounts
+	rep     *replica.Manager // replica table, nil on unreplicated mounts
 	files   map[inode.Ino]*file
 	nextObj uint64
 
@@ -232,6 +241,22 @@ func New(cfg Config) (*FS, error) {
 	if cfg.Cache != nil {
 		fs.cache = cache.New(*cfg.Cache, cacheStore{fs})
 	}
+	if cfg.Replication != nil && cfg.Replication.RF > 1 {
+		if cfg.Replication.RF > cfg.OSTs {
+			return nil, fmt.Errorf("pfs: replication factor %d exceeds %d OSTs",
+				cfg.Replication.RF, cfg.OSTs)
+		}
+		fs.rep = replica.NewManager(*cfg.Replication, cfg.OSTs)
+		// The repair throttle meters against the same simulated-time
+		// currency the defrag mover uses: accumulated device busy time.
+		fs.rep.SetTimeSource(func() sim.Ns {
+			var total sim.Ns
+			for _, srv := range fs.osts {
+				total += srv.Disk().Stats().BusyNs
+			}
+			return total
+		})
+	}
 	if cfg.Metrics != nil {
 		fs.Instrument(cfg.Metrics, telemetry.Labels{"fs": cfg.Name})
 	}
@@ -266,6 +291,9 @@ func (fs *FS) Instrument(reg *telemetry.Registry, labels telemetry.Labels) {
 	if fs.cache != nil {
 		fs.cache.Instrument(reg, labels.With("layer", "cache"))
 	}
+	if fs.rep != nil {
+		fs.rep.Instrument(reg, labels.With("layer", "replica"))
+	}
 }
 
 // SetTracer attaches (or with nil detaches) the span tracer to the mount
@@ -284,6 +312,9 @@ func (fs *FS) SetTracer(t *telemetry.Tracer) {
 		// Stamp cache events on the mount's timeline (t.Now is nil-safe,
 		// so a detached tracer just pins them at time zero).
 		fs.cache.SetClock(t.Now)
+	}
+	if fs.rep != nil {
+		fs.rep.SetClock(t.Now)
 	}
 }
 
@@ -346,6 +377,10 @@ func (fs *FS) Defrag() *defrag.Engine { return fs.defrag }
 // Cache returns the client block cache, or nil when the mount runs
 // write-through (the default).
 func (fs *FS) Cache() *cache.Cache { return fs.cache }
+
+// Replication returns the replica manager, or nil when the mount runs
+// unreplicated (the default).
+func (fs *FS) Replication() *replica.Manager { return fs.rep }
 
 // cacheStore adapts the mount into the cache's backing store. Its methods
 // only run inside cache calls made while fs.mu is held (every cache entry
@@ -464,6 +499,13 @@ func (fs *FS) Create(parent inode.Ino, name string, sizeHintBlocks int64) (*File
 		return nil, err
 	}
 	f := &file{ino: ino, sizeHint: sizeHintBlocks}
+	if fs.rep != nil {
+		if err := fs.repCreateLocked(f); err != nil {
+			return nil, err
+		}
+		fs.files[ino] = f
+		return &File{fs: fs, f: f, parent: parent, name: name}, nil
+	}
 	perOST := fs.componentSizeHint(sizeHintBlocks)
 	for i := range fs.ostc {
 		id := ost.ObjectID(fs.nextObj + 1)
@@ -502,6 +544,13 @@ func (fs *FS) Open(parent inode.Ino, name string) (*File, error) {
 	if !ok {
 		return nil, fmt.Errorf("pfs: inode %v has no objects (file created outside this mount)", ino)
 	}
+	if fs.rep != nil {
+		// A replicated open also refreshes the replica layout from the MDS
+		// table (the client pays the extra metadata round trip).
+		if _, err := fs.mdsc.GetReplicaLayout(ino); err != nil {
+			return nil, err
+		}
+	}
 	return &File{fs: fs, f: f, parent: parent, name: name}, nil
 }
 
@@ -527,9 +576,15 @@ func (fs *FS) Delete(parent inode.Ino, name string) error {
 	if err := fs.flushFileLocked(f, "delete-barrier", sp); err != nil {
 		return err
 	}
-	for i := range fs.ostc {
-		if err := fs.ostc[i].Delete(f.objects[i]); err != nil {
+	if fs.rep != nil {
+		if err := fs.repDeleteLocked(f); err != nil {
 			return err
+		}
+	} else {
+		for i := range fs.ostc {
+			if err := fs.ostc[i].Delete(f.objects[i]); err != nil {
+				return err
+			}
 		}
 	}
 	if fs.cache != nil {
@@ -608,7 +663,10 @@ func (fs *FS) stripeRange(blk, count int64) []stripePiece {
 func (fs *FS) Flush() {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	for _, c := range fs.ostc {
+	for i, c := range fs.ostc {
+		if fs.rep != nil && fs.rep.Down(i) {
+			continue // no point paying retry timeouts on a suspected server
+		}
 		_, _ = c.Flush()
 	}
 }
@@ -679,6 +737,9 @@ func (fs *FS) TotalExtents(f *File) (int, error) {
 }
 
 func (fs *FS) totalExtentsLocked(f *file) (int, error) {
+	if fs.rep != nil {
+		return fs.repTotalExtentsLocked(f)
+	}
 	total := 0
 	for i := range fs.ostc {
 		n, err := fs.ostc[i].ExtentCount(f.objects[i])
@@ -734,6 +795,9 @@ func (h *File) Write(stream core.StreamID, blk, count int64) error {
 // the stripe — the uncached write path, also the cache's write-back target.
 // Callers hold fs.mu.
 func (fs *FS) writeThroughLocked(f *file, stream core.StreamID, blk, count int64) error {
+	if fs.rep != nil {
+		return fs.repWriteLocked(f, stream, blk, count)
+	}
 	before, err := fs.totalExtentsLocked(f)
 	if err != nil {
 		return err
@@ -792,6 +856,9 @@ func (h *File) Read(blk, count int64) error {
 // the stripe — the uncached read path, also the cache's fetch target.
 // Callers hold fs.mu.
 func (fs *FS) readThroughLocked(f *file, blk, count int64) error {
+	if fs.rep != nil {
+		return fs.repReadLocked(f, blk, count)
+	}
 	for _, p := range fs.stripeRange(blk, count) {
 		if err := fs.ostc[p.ostIdx].Read(f.objects[p.ostIdx], p.logical, p.count); err != nil {
 			return err
@@ -816,9 +883,15 @@ func (h *File) Truncate(sizeBlocks int64) error {
 	if err := fs.flushFileLocked(h.f, "truncate-barrier", sp); err != nil {
 		return err
 	}
-	for i := range fs.ostc {
-		if err := fs.ostc[i].Truncate(h.f.objects[i], fs.componentBlocks(sizeBlocks, i)); err != nil {
+	if fs.rep != nil {
+		if err := fs.repTruncateLocked(h.f, sizeBlocks); err != nil {
 			return err
+		}
+	} else {
+		for i := range fs.ostc {
+			if err := fs.ostc[i].Truncate(h.f.objects[i], fs.componentBlocks(sizeBlocks, i)); err != nil {
+				return err
+			}
 		}
 	}
 	if fs.cache != nil {
@@ -841,6 +914,9 @@ func (h *File) Fsync() error {
 	if err := fs.flushFileLocked(h.f, "fsync-barrier", sp); err != nil {
 		return err
 	}
+	if fs.rep != nil {
+		return fs.repFsyncLocked(h.f)
+	}
 	for i := range fs.ostc {
 		if err := fs.ostc[i].Fsync(h.f.objects[i]); err != nil {
 			return err
@@ -861,6 +937,9 @@ func (h *File) Close() error {
 	// must describe the data as the servers hold it.
 	if err := fs.flushFileLocked(h.f, "close-barrier", sp); err != nil {
 		return err
+	}
+	if fs.rep != nil {
+		return fs.repCloseLocked(h.f)
 	}
 	var layout []extent.Extent
 	for i := range fs.ostc {

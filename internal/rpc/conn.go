@@ -23,6 +23,7 @@ type ClientConfig struct {
 // retries — the key the endpoints' replay caches deduplicate on.
 type Conn struct {
 	net     *NetTransport
+	fault   *FaultTransport // nil on fault-free stacks
 	top     Transport
 	nextXID atomic.Uint64
 }
@@ -31,16 +32,22 @@ type Conn struct {
 func NewConn(cfg ClientConfig) *Conn {
 	nt := NewNetTransport()
 	var top Transport = nt
+	var ft *FaultTransport
 	if cfg.Fault != nil {
-		top = NewFaultTransport(top, *cfg.Fault)
+		ft = NewFaultTransport(top, *cfg.Fault)
+		top = ft
 	}
 	var policy RetryPolicy
 	if cfg.Retry != nil {
 		policy = *cfg.Retry
 	}
 	top = NewRetryTransport(top, policy)
-	return &Conn{net: nt, top: top}
+	return &Conn{net: nt, fault: ft, top: top}
 }
+
+// Fault exposes the stack's fault injector (nil when the connection was
+// built without one) — the handle crash/revive tooling drives.
+func (c *Conn) Fault() *FaultTransport { return c.fault }
 
 // Register routes addr to an endpoint over the given link.
 func (c *Conn) Register(addr string, ep Endpoint, link *netsim.Link) {

@@ -34,6 +34,40 @@ type FaultConfig struct {
 	Meta    FaultRates
 	Data    FaultRates
 	Control FaultRates
+	// Crashes schedules deterministic endpoint crashes (blackholes): each
+	// plan fires once, in order, per address. Endpoints without a plan
+	// crash only through the manual Crash/Revive API.
+	Crashes []CrashPlan
+	// MaxDownCalls bounds the seeded outage length drawn for plans that
+	// leave DownForCalls zero (default 64).
+	MaxDownCalls int64
+}
+
+// CrashPlan schedules one crash of one endpoint. Unlike the per-op
+// probabilistic faults, a crashed endpoint drops *every* request — meta,
+// data, and control alike — until it revives, so the client sees a solid
+// wall of timeouts rather than sporadic loss.
+type CrashPlan struct {
+	// Addr is the endpoint to crash.
+	Addr string
+	// AfterCalls arms the crash after this many transport attempts have
+	// been carried toward the endpoint (retries included); attempt
+	// AfterCalls+1 is the first one blackholed. Zero crashes immediately.
+	AfterCalls int64
+	// DownForCalls revives the endpoint after this many blackholed
+	// attempts. Zero draws the outage length from the seeded RNG in
+	// [1, MaxDownCalls] — the "seeded revive schedule".
+	DownForCalls int64
+}
+
+// crashState is the per-endpoint blackhole state.
+type crashState struct {
+	crashed    bool
+	auto       bool  // revive automatically after downFor dropped attempts
+	downFor    int64 // resolved outage length (auto mode)
+	droppedRun int64 // attempts dropped in the current outage
+	attempts   int64 // transport attempts carried toward the endpoint
+	plans      []CrashPlan
 }
 
 // UniformFaults is the tooling shorthand: every class drops requests at
@@ -64,13 +98,102 @@ type FaultTransport struct {
 	cfg  FaultConfig
 	sh   *shared
 
-	mu  sync.Mutex
-	rng *sim.Rand
+	mu    sync.Mutex
+	rng   *sim.Rand
+	crash map[string]*crashState
 }
 
 // NewFaultTransport wraps next with the configured injector.
 func NewFaultTransport(next Transport, cfg FaultConfig) *FaultTransport {
-	return &FaultTransport{next: next, cfg: cfg, sh: joinStack(next), rng: sim.NewRand(cfg.Seed)}
+	t := &FaultTransport{
+		next:  next,
+		cfg:   cfg,
+		sh:    joinStack(next),
+		rng:   sim.NewRand(cfg.Seed),
+		crash: make(map[string]*crashState),
+	}
+	for _, p := range cfg.Crashes {
+		st := t.crashStateLocked(p.Addr)
+		st.plans = append(st.plans, p)
+	}
+	return t
+}
+
+// crashStateLocked returns (allocating on demand) the endpoint's blackhole
+// state. Construction and the mu-serialized call path are the only
+// callers.
+func (t *FaultTransport) crashStateLocked(addr string) *crashState {
+	st, ok := t.crash[addr]
+	if !ok {
+		st = &crashState{}
+		t.crash[addr] = st
+	}
+	return st
+}
+
+// Crash blackholes the endpoint: every subsequent request to addr is
+// dropped before reaching the server, until Revive. Manual crashes never
+// auto-revive.
+func (t *FaultTransport) Crash(addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.crashStateLocked(addr)
+	st.crashed, st.auto, st.droppedRun = true, false, 0
+}
+
+// Revive lifts a blackhole (manual or scheduled). The caller owns any
+// server-side restart semantics; the transport only reopens the path.
+func (t *FaultTransport) Revive(addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if st, ok := t.crash[addr]; ok {
+		st.crashed, st.auto, st.droppedRun = false, false, 0
+	}
+}
+
+// Crashed reports whether addr is currently blackholed.
+func (t *FaultTransport) Crashed(addr string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st, ok := t.crash[addr]
+	return ok && st.crashed
+}
+
+// crashDrop advances the endpoint's crash schedule by one attempt and
+// reports whether this attempt is blackholed. Scheduled outages resolve
+// their length from the seeded RNG when they fire, so the whole
+// crash/revive timeline is a pure function of the config and the call
+// sequence.
+func (t *FaultTransport) crashDrop(addr string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st, ok := t.crash[addr]
+	if !ok {
+		return false
+	}
+	st.attempts++
+	if !st.crashed && len(st.plans) > 0 && st.attempts > st.plans[0].AfterCalls {
+		p := st.plans[0]
+		st.plans = st.plans[1:]
+		st.crashed, st.auto, st.droppedRun = true, true, 0
+		st.downFor = p.DownForCalls
+		if st.downFor <= 0 {
+			max := t.cfg.MaxDownCalls
+			if max <= 0 {
+				max = 64
+			}
+			st.downFor = 1 + t.rng.Int63n(max)
+		}
+	}
+	if !st.crashed {
+		return false
+	}
+	if st.auto && st.droppedRun >= st.downFor {
+		st.crashed, st.auto, st.droppedRun = false, false, 0
+		return false
+	}
+	st.droppedRun++
+	return true
 }
 
 // sharedState exposes the stack state to decorators.
@@ -90,6 +213,10 @@ func (t *FaultTransport) draw() (drop, respDrop, errp, delayp, delayFrac float64
 // the server.
 func (t *FaultTransport) Call(addr string, xid uint64, req Request) (Msg, error) {
 	op := req.RPCOp()
+	if t.crashDrop(addr) {
+		t.sh.m.fault(t.sh.tracer.Now(), "blackhole", op)
+		return nil, &dropError{response: false}
+	}
 	r := t.cfg.rates(op.Class())
 	drop, respDrop, errp, delayp, delayFrac := t.draw()
 	if drop < r.Drop {

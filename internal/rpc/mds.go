@@ -4,6 +4,7 @@ import (
 	"redbud/internal/extent"
 	"redbud/internal/inode"
 	"redbud/internal/mds"
+	"redbud/internal/replica"
 	"redbud/internal/telemetry"
 )
 
@@ -121,6 +122,23 @@ func (e *MDSEndpoint) dispatch(req Request) (Msg, error) {
 	case *ExtentChurnReq:
 		e.srv.NoteExtentChurn(m.Units)
 		return &ExtentChurnResp{}, nil
+	case *PlaceReplicasReq:
+		sets, err := e.srv.PlaceReplicas(m.Ino, m.Comps, m.RF, m.Inputs)
+		if err != nil {
+			return nil, err
+		}
+		return &PlaceReplicasResp{Sets: sets}, nil
+	case *GetReplicaLayoutReq:
+		sets, err := e.srv.GetReplicaLayout(m.Ino)
+		if err != nil {
+			return nil, err
+		}
+		return &GetReplicaLayoutResp{Sets: sets}, nil
+	case *SetReplicaLayoutReq:
+		if err := e.srv.SetReplicaLayout(m.Ino, m.Comp, m.Replicas); err != nil {
+			return nil, err
+		}
+		return &SetReplicaLayoutResp{}, nil
 	default:
 		return nil, &Error{Op: req.RPCOp(), Addr: e.addr, Kind: KindBadRequest}
 	}
@@ -267,5 +285,34 @@ func (c *MDSClient) NoteExtentChurn(units int) error {
 // Sync flushes the metadata file system.
 func (c *MDSClient) Sync() error {
 	_, err := call[*MDSSyncResp](c.conn, c.addr, &MDSSyncReq{})
+	return err
+}
+
+// PlaceReplicas asks the MDS to place a file's replica sets from the
+// client's capacity/load observations.
+func (c *MDSClient) PlaceReplicas(ino inode.Ino, comps, rf int, in []replica.PlaceInput) ([][]int, error) {
+	resp, err := call[*PlaceReplicasResp](c.conn, c.addr, &PlaceReplicasReq{
+		Ino: ino, Comps: comps, RF: rf, Inputs: in,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Sets, nil
+}
+
+// GetReplicaLayout fetches a file's replica sets.
+func (c *MDSClient) GetReplicaLayout(ino inode.Ino) ([][]int, error) {
+	resp, err := call[*GetReplicaLayoutResp](c.conn, c.addr, &GetReplicaLayoutReq{Ino: ino})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Sets, nil
+}
+
+// SetReplicaLayout updates one component's replica set after a repair.
+func (c *MDSClient) SetReplicaLayout(ino inode.Ino, comp int, replicas []int) error {
+	_, err := call[*SetReplicaLayoutResp](c.conn, c.addr, &SetReplicaLayoutReq{
+		Ino: ino, Comp: comp, Replicas: replicas,
+	})
 	return err
 }

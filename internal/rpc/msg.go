@@ -1,10 +1,12 @@
 package rpc
 
 import (
+	"redbud/internal/alloc"
 	"redbud/internal/core"
 	"redbud/internal/extent"
 	"redbud/internal/inode"
 	"redbud/internal/ost"
+	"redbud/internal/replica"
 	"redbud/internal/sim"
 )
 
@@ -48,6 +50,11 @@ const (
 	direntBytes = 8
 	// streamBytes encodes a write-stream identity (client, PID).
 	streamBytes = 8
+	// placeInputBytes encodes one OST's placement telemetry (index, free
+	// blocks, busy time, liveness flag).
+	placeInputBytes = 24
+	// replicaIdxBytes encodes one replica-set member (an OST index).
+	replicaIdxBytes = 4
 )
 
 // cells rounds a message body up to whole metadata cells, envelope
@@ -377,6 +384,88 @@ type ExtentChurnResp struct{}
 // WireSize models the piggybacked control message.
 func (*ExtentChurnResp) WireSize() int64 { return 0 }
 
+// setsEntries counts the members across a file's replica sets, for wire
+// sizing.
+func setsEntries(sets [][]int) int64 {
+	var n int64
+	for _, s := range sets {
+		n += int64(len(s))
+	}
+	return n
+}
+
+// PlaceReplicasReq asks the MDS to place RF replicas for each of a file's
+// Comps stripe components. The client ships its per-OST capacity/load
+// observations (and which servers it currently suspects dead) so the MDS
+// scores targets without a server-to-server gossip plane.
+type PlaceReplicasReq struct {
+	Ino    inode.Ino
+	Comps  int
+	RF     int
+	Inputs []replica.PlaceInput
+}
+
+// RPCOp names the op.
+func (*PlaceReplicasReq) RPCOp() Op { return OpPlaceReplicas }
+
+// WireSize models the encoded request.
+func (m *PlaceReplicasReq) WireSize() int64 {
+	return cells(inoBytes + 2*i64Bytes + int64(len(m.Inputs))*placeInputBytes)
+}
+
+// PlaceReplicasResp returns the per-component replica sets.
+type PlaceReplicasResp struct {
+	Sets [][]int
+}
+
+// WireSize models the encoded response.
+func (m *PlaceReplicasResp) WireSize() int64 {
+	return cells(setsEntries(m.Sets) * replicaIdxBytes)
+}
+
+// GetReplicaLayoutReq fetches a file's replica sets at open.
+type GetReplicaLayoutReq struct {
+	Ino inode.Ino
+}
+
+// RPCOp names the op.
+func (*GetReplicaLayoutReq) RPCOp() Op { return OpGetReplicaLayout }
+
+// WireSize models the encoded request.
+func (*GetReplicaLayoutReq) WireSize() int64 { return cells(inoBytes) }
+
+// GetReplicaLayoutResp carries the per-component replica sets.
+type GetReplicaLayoutResp struct {
+	Sets [][]int
+}
+
+// WireSize models the encoded response.
+func (m *GetReplicaLayoutResp) WireSize() int64 {
+	return cells(setsEntries(m.Sets) * replicaIdxBytes)
+}
+
+// SetReplicaLayoutReq updates one component's replica set after a
+// re-replication completes.
+type SetReplicaLayoutReq struct {
+	Ino      inode.Ino
+	Comp     int
+	Replicas []int
+}
+
+// RPCOp names the op.
+func (*SetReplicaLayoutReq) RPCOp() Op { return OpSetReplicaLayout }
+
+// WireSize models the encoded request.
+func (m *SetReplicaLayoutReq) WireSize() int64 {
+	return cells(inoBytes + i64Bytes + int64(len(m.Replicas))*replicaIdxBytes)
+}
+
+// SetReplicaLayoutResp acknowledges the update.
+type SetReplicaLayoutResp struct{}
+
+// WireSize models the encoded response.
+func (*SetReplicaLayoutResp) WireSize() int64 { return cells(0) }
+
 // ---- Client↔OST messages ----
 
 // ObjCreateReq creates an object on an IO server. The placement policy is
@@ -588,3 +677,24 @@ type ObjExtentsResp struct {
 
 // WireSize models the piggybacked control message.
 func (*ObjExtentsResp) WireSize() int64 { return 0 }
+
+// ObjWrittenRunsReq asks for the maximal runs of written logical blocks —
+// the manifest a repair copies (holes and preallocated-but-unwritten
+// space are skipped; they carry no data).
+type ObjWrittenRunsReq struct {
+	ID ost.ObjectID
+}
+
+// RPCOp names the op.
+func (*ObjWrittenRunsReq) RPCOp() Op { return OpObjWrittenRuns }
+
+// WireSize models the piggybacked control message.
+func (*ObjWrittenRunsReq) WireSize() int64 { return 0 }
+
+// ObjWrittenRunsResp carries the written runs.
+type ObjWrittenRunsResp struct {
+	Runs []alloc.Range
+}
+
+// WireSize models the piggybacked control message.
+func (*ObjWrittenRunsResp) WireSize() int64 { return 0 }

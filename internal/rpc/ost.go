@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"redbud/internal/alloc"
 	"redbud/internal/core"
 	"redbud/internal/extent"
 	"redbud/internal/ost"
@@ -99,6 +100,12 @@ func (e *OSTEndpoint) dispatch(req Request) (Msg, error) {
 			return nil, err
 		}
 		return &ObjExtentsResp{Extents: exts}, nil
+	case *ObjWrittenRunsReq:
+		runs, err := e.srv.WrittenRuns(m.ID)
+		if err != nil {
+			return nil, err
+		}
+		return &ObjWrittenRunsResp{Runs: runs}, nil
 	default:
 		return nil, &Error{Op: req.RPCOp(), Addr: e.addr, Kind: KindBadRequest}
 	}
@@ -203,4 +210,14 @@ func (c *OSTClient) Extents(id ost.ObjectID) ([]extent.Extent, error) {
 		return nil, err
 	}
 	return resp.Extents, nil
+}
+
+// WrittenRuns returns the maximal runs of written logical blocks — the
+// repair engine's copy manifest.
+func (c *OSTClient) WrittenRuns(id ost.ObjectID) ([]alloc.Range, error) {
+	resp, err := call[*ObjWrittenRunsResp](c.conn, c.addr, &ObjWrittenRunsReq{ID: id})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Runs, nil
 }

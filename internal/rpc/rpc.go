@@ -96,6 +96,15 @@ const (
 	// OpExtentChurn reports layout-mapping churn observed during writes; it
 	// piggybacks on data-plane completions (ClassControl).
 	OpExtentChurn Op = "extent-churn"
+	// OpPlaceReplicas asks the MDS to place a file's replica sets: the
+	// client ships its capacity/load observations, the server runs the
+	// spread policy and records the result.
+	OpPlaceReplicas Op = "place-replicas"
+	// OpGetReplicaLayout fetches a file's replica sets at open.
+	OpGetReplicaLayout Op = "get-replica-layout"
+	// OpSetReplicaLayout updates one component's replica set after a
+	// re-replication completes.
+	OpSetReplicaLayout Op = "set-replica-layout"
 )
 
 // Client↔OST ops.
@@ -111,6 +120,9 @@ const (
 	OpObjClose     Op = "obj-close"
 	OpObjExtCount  Op = "obj-extent-count"
 	OpObjExtents   Op = "obj-extents"
+	// OpObjWrittenRuns fetches the maximal runs of written logical blocks
+	// — the copy manifest the re-replication engine repairs from.
+	OpObjWrittenRuns Op = "obj-written-runs"
 )
 
 // Class returns the op's network plane.
@@ -118,7 +130,7 @@ func (o Op) Class() Class {
 	switch o {
 	case OpMkdir, OpCreate, OpLookup, OpStat, OpStatName, OpUtime, OpUnlink,
 		OpRmdir, OpRename, OpReaddir, OpReaddirPlus, OpOpenGetLayout,
-		OpSetLayout:
+		OpSetLayout, OpPlaceReplicas, OpGetReplicaLayout, OpSetReplicaLayout:
 		return ClassMeta
 	case OpObjWrite, OpObjRead:
 		return ClassData

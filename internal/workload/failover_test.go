@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"testing"
+
+	"redbud/internal/pfs"
+)
+
+// TestFailoverBenchSurvivesCrash is the acceptance scenario at test scale:
+// an OST killed mid-write under 3-way replication, zero client errors, the
+// failure visible in the replica counters, and redundancy restored on the
+// survivors before the run ends (RunFailoverBench errors otherwise).
+func TestFailoverBenchSurvivesCrash(t *testing.T) {
+	cfg := DefaultFailoverBenchConfig()
+	cfg.Files = 2
+	cfg.FileBlocks = 256
+	res, err := RunFailoverBench(pfs.MiF(6), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RF != 3 || res.OSTs != 6 {
+		t.Fatalf("shape rf=%d osts=%d, want 3/6", res.RF, res.OSTs)
+	}
+	if res.WriteMBps <= 0 || res.ReadMBps <= 0 {
+		t.Fatalf("throughput not measured: write %.1f read %.1f", res.WriteMBps, res.ReadMBps)
+	}
+	st := res.Stats
+	if st.OSTDownEvents == 0 || st.Failovers == 0 {
+		t.Fatalf("crash left no trace in the replica counters: %+v", st)
+	}
+	if st.FanoutWrites == 0 || st.SteeredReads == 0 {
+		t.Fatalf("replicated data path inactive: %+v", st)
+	}
+	if st.RepairsDone == 0 || st.RepairBlocks == 0 {
+		t.Fatalf("re-replication never ran: %+v", st)
+	}
+	if res.UnderReplPeak == 0 {
+		t.Fatal("under-replication peak not observed")
+	}
+	if res.TimeToRedundancyNs <= 0 {
+		t.Fatalf("time-to-redundancy = %d ns, want > 0", res.TimeToRedundancyNs)
+	}
+}
+
+func TestFailoverBenchRejectsBadConfig(t *testing.T) {
+	cfg := DefaultFailoverBenchConfig()
+	cfg.Files = 0
+	if _, err := RunFailoverBench(pfs.MiF(4), cfg); err == nil {
+		t.Fatal("zero files must be rejected")
+	}
+	cfg = DefaultFailoverBenchConfig()
+	cfg.CrashOST = 9
+	if _, err := RunFailoverBench(pfs.MiF(4), cfg); err == nil {
+		t.Fatal("crash target outside the OST set must be rejected")
+	}
+}
+
+// TestFailoverBenchIsDeterministic: two identical runs must agree on every
+// simulated quantity — the crash, detection, steering, and repair timeline
+// is a pure function of the seed.
+func TestFailoverBenchIsDeterministic(t *testing.T) {
+	cfg := DefaultFailoverBenchConfig()
+	cfg.Files = 2
+	cfg.FileBlocks = 128
+	r1, err := RunFailoverBench(pfs.MiF(6), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunFailoverBench(pfs.MiF(6), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatalf("identical failover runs diverged:\n%+v\nvs\n%+v", r1, r2)
+	}
+}
