@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race smoke bench benchcheck
+.PHONY: ci fmt vet build test race smoke racesmoke bench benchcheck
 
-ci: fmt vet build race smoke benchcheck
+ci: fmt vet build race smoke racesmoke benchcheck
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -58,20 +58,40 @@ smoke:
 	"$$dir/mifbench" -scale 0.25 -spans "$$dir/s.json" fig6a > /dev/null && \
 	"$$dir/miftrace" critpath "$$dir/s.json"
 
-# bench regenerates the full-scale performance snapshot. Run it on a quiet
-# machine and commit the result as BENCH_seed.json to move the baseline
-# (simulated metrics are deterministic; only wall_ns varies run to run).
-bench:
-	$(GO) run ./cmd/mifbench -bench-json BENCH_local.json all
+# racesmoke reruns the determinism-sensitive smoke legs on race-built
+# binaries with GORACE=halt_on_error=1: the telemetry-identity pair (two
+# identical runs must produce byte-identical snapshots while the parallel
+# clock domains are active) and a critical-path walk over a span log. A
+# data race in the domain fan-out aborts the run instead of scrolling past.
+racesmoke:
+	@dir=$$(mktemp -d) && trap 'rm -rf "$$dir"' EXIT && \
+	$(GO) build -race -o "$$dir" ./cmd/mifbench ./cmd/miftrace && \
+	GORACE=halt_on_error=1 "$$dir/mifbench" -scale 0.25 -telemetry "$$dir/t1.json" fig6a > /dev/null && \
+	GORACE=halt_on_error=1 "$$dir/mifbench" -scale 0.25 -telemetry "$$dir/t2.json" fig6a > /dev/null && \
+	cmp "$$dir/t1.json" "$$dir/t2.json" && \
+	GORACE=halt_on_error=1 "$$dir/mifbench" -scale 0.25 -spans "$$dir/s.json" fig6a > /dev/null && \
+	GORACE=halt_on_error=1 "$$dir/miftrace" critpath "$$dir/s.json" > /dev/null && \
+	echo "racesmoke: ok"
 
-# benchcheck replays the fig6a experiment at the baseline's scale and
-# compares per-metric drift against the committed snapshot's fig6a record
-# (the other experiments are reported as missing, which is informational).
-# The simulator is deterministic, so simulated metrics should show zero
-# drift; the leg is warn-only for now so a legitimate perf change can land
-# together with its baseline refresh without a chicken-and-egg failure.
+# bench regenerates the full-scale performance snapshot as BENCH_pr8.json,
+# the committed record of the parallel-domains/zero-alloc work. Run it on a
+# quiet machine (simulated metrics are deterministic; only wall_ns varies
+# run to run).
+bench:
+	$(GO) run ./cmd/mifbench -bench-json BENCH_pr8.json all
+
+# benchcheck has two legs. Leg 1 replays the fig6a experiment and compares
+# per-metric drift against the committed seed snapshot's fig6a record (the
+# other experiments are reported as missing, which is informational). The
+# simulator is deterministic, so simulated metrics should show zero drift;
+# this leg is warn-only so a legitimate perf change can land together with
+# its baseline refresh without a chicken-and-egg failure. Leg 2 diffs the
+# two committed snapshots — BENCH_seed.json versus BENCH_pr8.json — as a
+# strict gate: the optimization PR must show zero simulated-metric drift,
+# and the wall-clock table reports the measured speedup per experiment.
 benchcheck:
 	@dir=$$(mktemp -d) && trap 'rm -rf "$$dir"' EXIT && \
 	$(GO) build -o "$$dir" ./cmd/mifbench && \
 	"$$dir/mifbench" -bench-json "$$dir/b.json" fig6a > /dev/null && \
-	"$$dir/mifbench" compare -warn-only BENCH_seed.json "$$dir/b.json"
+	"$$dir/mifbench" compare -warn-only BENCH_seed.json "$$dir/b.json" && \
+	"$$dir/mifbench" compare -wall BENCH_seed.json BENCH_pr8.json

@@ -1,0 +1,60 @@
+package redbud_test
+
+// Allocation ceilings for the hot benchmarks. The zero-alloc audit (PR 8)
+// interned telemetry label keys, pooled RPC request messages, and moved
+// the extent/stripe lookups onto reusable scratch slices; these ceilings
+// keep those wins from silently eroding. Each case executes one full
+// workload run — the same shapes BenchmarkFig6a, BenchmarkCache and
+// BenchmarkFailover iterate — and fails if the allocation count exceeds a
+// ceiling set ~30% above the measured post-audit cost (headroom for GC
+// timing flushing the sync.Pools mid-run). `go test -bench=. -benchmem`
+// reports the same quantity as allocs/op for trend inspection.
+
+import (
+	"testing"
+
+	"redbud/internal/pfs"
+	"redbud/internal/workload"
+)
+
+func TestAllocCeilings(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
+	cases := []struct {
+		name    string
+		ceiling float64
+		run     func() error
+	}{
+		{"fig6a", 10_500, func() error {
+			_, err := workload.RunMicro(fig6FS(pfs.PolicyOnDemand), workload.DefaultMicroConfig(8))
+			return err
+		}},
+		{"cache", 20_000, func() error {
+			_, err := workload.RunCacheBench(pfs.MiF(5), workload.DefaultCacheBenchConfig())
+			return err
+		}},
+		{"failover", 33_000, func() error {
+			_, err := workload.RunFailoverBench(pfs.MiF(6), workload.DefaultFailoverBenchConfig())
+			return err
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var err error
+			allocs := testing.AllocsPerRun(1, func() {
+				if e := c.run(); e != nil {
+					err = e
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s: %.0f allocs/run (ceiling %.0f)", c.name, allocs, c.ceiling)
+			if allocs > c.ceiling {
+				t.Errorf("%s allocates %.0f objects/run, ceiling %.0f — the zero-alloc audit regressed",
+					c.name, allocs, c.ceiling)
+			}
+		})
+	}
+}

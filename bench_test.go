@@ -224,6 +224,45 @@ func BenchmarkFig10(b *testing.B) {
 	}
 }
 
+// BenchmarkCache measures the client-cache experiment (both profiles'
+// off/on arms, the same sequence `mifbench cache` runs).
+func BenchmarkCache(b *testing.B) {
+	for _, mk := range []func(int) pfs.Config{
+		func(n int) pfs.Config { return pfs.MiF(n).WithPolicy(pfs.PolicyVanilla) },
+		pfs.MiF,
+	} {
+		cfg := mk(5)
+		b.Run(cfg.Name, func(b *testing.B) {
+			var last workload.CacheBenchResult
+			for i := 0; i < b.N; i++ {
+				res, err := workload.RunCacheBench(mk(5), workload.DefaultCacheBenchConfig())
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(float64(last.On.WriteRPCs), "write-rpcs")
+			b.ReportMetric(last.On.Pass2MBps, "sim-reread-MB/s")
+		})
+	}
+}
+
+// BenchmarkFailover measures the replication experiment: 3-way-replicated
+// writes with one OST blackholed midway, read-back under steering, and the
+// background re-replication drain.
+func BenchmarkFailover(b *testing.B) {
+	var last workload.FailoverBenchResult
+	for i := 0; i < b.N; i++ {
+		res, err := workload.RunFailoverBench(pfs.MiF(6), workload.DefaultFailoverBenchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.WriteMBps, "sim-write-MB/s")
+	b.ReportMetric(float64(last.Stats.Failovers), "failovers")
+}
+
 // BenchmarkAblationWindowScale sweeps the on-demand window growth factor.
 func BenchmarkAblationWindowScale(b *testing.B) {
 	for _, scale := range []int64{2, 4, 8} {

@@ -25,13 +25,14 @@ var (
 func runCompare(args []string) {
 	fs := flag.NewFlagSet("compare", flag.ExitOnError)
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mifbench compare [-tolerance frac] [-warn-only] [-v] <old.json> <new.json>\n")
+		fmt.Fprintf(os.Stderr, "usage: mifbench compare [-tolerance frac] [-warn-only] [-wall] [-v] <old.json> <new.json>\n")
 		fs.PrintDefaults()
 	}
 	tol := fs.Float64("tolerance", benchsnap.DefaultTolerance,
 		"allowed relative drift before a metric regresses (cost metrics fail only upward)")
 	warn := fs.Bool("warn-only", false, "report regressions but always exit 0")
 	verbose := fs.Bool("v", false, "list every drifted metric, not just the largest")
+	wall := fs.Bool("wall", false, "append a per-experiment wall-clock delta table (informational)")
 	fs.Parse(args)
 	if fs.NArg() != 2 {
 		fs.Usage()
@@ -43,6 +44,12 @@ func runCompare(args []string) {
 	if err := res.WriteText(os.Stdout, *verbose); err != nil {
 		fmt.Fprintf(os.Stderr, "mifbench compare: %v\n", err)
 		os.Exit(2)
+	}
+	if *wall {
+		if err := benchsnap.WriteWallTable(os.Stdout, benchsnap.WallDeltas(old, cur)); err != nil {
+			fmt.Fprintf(os.Stderr, "mifbench compare: %v\n", err)
+			os.Exit(2)
+		}
 	}
 	if res.Failed {
 		os.Exit(1)

@@ -38,7 +38,7 @@
 // per-experiment (combining with -telemetry therefore turns its snapshots
 // into per-phase deltas too). Compare two snapshots with
 //
-//	mifbench compare [-tolerance frac] [-warn-only] [-v] <old> <new>
+//	mifbench compare [-tolerance frac] [-warn-only] [-wall] [-v] <old> <new>
 //
 // which classifies each metric (volatile wall clock / cost / invariant),
 // reports drift, and exits non-zero on regressions beyond tolerance.
@@ -88,7 +88,7 @@ func main() {
 	}
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: mifbench [flags] {fig6a|fig6b|fig7|table1|fig8|fig9|fig10|ablation|defrag|cache|failover|all}\n")
-		fmt.Fprintf(os.Stderr, "       mifbench compare [-tolerance frac] [-warn-only] [-v] <old.json> <new.json>\n")
+		fmt.Fprintf(os.Stderr, "       mifbench compare [-tolerance frac] [-warn-only] [-wall] [-v] <old.json> <new.json>\n")
 		flag.PrintDefaults()
 	}
 	scale := flag.Float64("scale", 1.0, "workload scale factor (file sizes, file counts)")

@@ -28,7 +28,17 @@ func (s *RangeSet) Add(r Range) {
 		j++
 	}
 	merged := Range{Start: start, Count: end - start}
-	s.r = append(s.r[:i], append([]Range{merged}, s.r[j:]...)...)
+	// Splice in place: extending an adjacent run (the common sequential-write
+	// case) and replacing swallowed runs reuse the backing array instead of
+	// building a temporary slice per call.
+	if i == j {
+		s.r = append(s.r, Range{})
+		copy(s.r[i+1:], s.r[i:])
+		s.r[i] = merged
+		return
+	}
+	s.r[i] = merged
+	s.r = append(s.r[:i+1], s.r[j:]...)
 }
 
 // Remove subtracts r from the set, splitting ranges that straddle it.
@@ -64,10 +74,16 @@ func (s *RangeSet) Contains(r Range) bool {
 // Gaps returns the sub-ranges of r not covered by the set, in ascending
 // order.
 func (s *RangeSet) Gaps(r Range) []Range {
+	return s.AppendGaps(nil, r)
+}
+
+// AppendGaps is Gaps appending into dst, so per-request paths (the OST
+// prefetch check runs once per read piece) can reuse one scratch slice.
+func (s *RangeSet) AppendGaps(dst []Range, r Range) []Range {
 	if r.Count <= 0 {
-		return nil
+		return dst
 	}
-	var out []Range
+	out := dst
 	pos := r.Start
 	i := sort.Search(len(s.r), func(i int) bool { return s.r[i].End() > r.Start })
 	for ; i < len(s.r) && s.r[i].Start < r.End(); i++ {

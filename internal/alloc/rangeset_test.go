@@ -1,6 +1,7 @@
 package alloc
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -105,5 +106,31 @@ func TestRangeSetModelProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestAppendGapsMatchesGaps checks the append-into variant is equivalent to
+// Gaps and that scratch reuse is allocation-free once warm.
+func TestAppendGapsMatchesGaps(t *testing.T) {
+	var s RangeSet
+	for _, r := range []Range{{Start: 10, Count: 5}, {Start: 20, Count: 2}, {Start: 30, Count: 10}} {
+		s.Add(r)
+	}
+	scratch := make([]Range, 0, 8)
+	for _, q := range []Range{{Start: 0, Count: 50}, {Start: 12, Count: 3}, {Start: 11, Count: 2}, {Start: 45, Count: 5}} {
+		want := s.Gaps(q)
+		scratch = s.AppendGaps(scratch[:0], q)
+		if len(want) == 0 && len(scratch) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(want, scratch) {
+			t.Fatalf("AppendGaps(%v) = %v, Gaps = %v", q, scratch, want)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		scratch = s.AppendGaps(scratch[:0], Range{Start: 0, Count: 50})
+	})
+	if allocs != 0 {
+		t.Fatalf("warm AppendGaps allocates %.1f objects/op, want 0", allocs)
 	}
 }

@@ -212,6 +212,64 @@ func Compare(old, new *Snapshot, opt Options) Result {
 	return res
 }
 
+// WallDelta is one experiment's wall-clock movement between two snapshots.
+type WallDelta struct {
+	Experiment string
+	OldNs      int64
+	NewNs      int64
+	// Speedup is old/new: above 1 the new snapshot is faster.
+	Speedup float64
+}
+
+// WallDeltas extracts the per-experiment wall-clock deltas for experiments
+// present in both snapshots, in the new snapshot's order.
+func WallDeltas(old, new *Snapshot) []WallDelta {
+	oldExps := make(map[string]Experiment, len(old.Experiments))
+	for _, e := range old.Experiments {
+		oldExps[e.Name] = e
+	}
+	var out []WallDelta
+	for _, ne := range new.Experiments {
+		oe, ok := oldExps[ne.Name]
+		if !ok || oe.WallNs <= 0 || ne.WallNs <= 0 {
+			continue
+		}
+		out = append(out, WallDelta{
+			Experiment: ne.Name,
+			OldNs:      oe.WallNs,
+			NewNs:      ne.WallNs,
+			Speedup:    float64(oe.WallNs) / float64(ne.WallNs),
+		})
+	}
+	return out
+}
+
+// WriteWallTable renders the wall-clock deltas as a table with a total
+// row. Wall clock is volatile run to run; the table is a report, not a
+// gate.
+func WriteWallTable(w io.Writer, deltas []WallDelta) error {
+	if len(deltas) == 0 {
+		_, err := fmt.Fprintln(w, "wall-clock: no common experiments")
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "wall-clock deltas (volatile, informational):\n%-12s %12s %12s %9s\n",
+		"experiment", "old ms", "new ms", "speedup"); err != nil {
+		return err
+	}
+	var oldTotal, newTotal int64
+	for _, d := range deltas {
+		oldTotal += d.OldNs
+		newTotal += d.NewNs
+		if _, err := fmt.Fprintf(w, "%-12s %12.1f %12.1f %8.2fx\n",
+			d.Experiment, float64(d.OldNs)/1e6, float64(d.NewNs)/1e6, d.Speedup); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%-12s %12.1f %12.1f %8.2fx\n",
+		"total", float64(oldTotal)/1e6, float64(newTotal)/1e6, float64(oldTotal)/float64(newTotal))
+	return err
+}
+
 // WriteText renders the comparison: regressions first, then the largest
 // drifts, then the summary line.
 func (r Result) WriteText(w io.Writer, verbose bool) error {

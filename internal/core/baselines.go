@@ -17,10 +17,11 @@ type Reservation struct {
 	// this parameter ("the allocation size").
 	windowBlocks int64
 
-	mu     sync.Mutex
-	owner  alloc.Owner
-	window alloc.Range // remaining reserved, unconsumed range
-	opened bool
+	mu      sync.Mutex
+	owner   alloc.Owner
+	window  alloc.Range // remaining reserved, unconsumed range
+	opened  bool
+	scratch []Placement // reused result buffer; valid until the next Place
 }
 
 // NewReservation builds the baseline with the given window size in blocks.
@@ -42,14 +43,16 @@ func (p *Reservation) Place(_ StreamID, logical, count, goal int64) ([]Placement
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	var out []Placement
+	out := p.scratch[:0]
 	for count > 0 {
 		if p.window.Count == 0 {
 			r, err := p.src.ReserveNear(p.owner, goal, p.windowBlocks)
 			if err != nil {
 				// Device too fragmented or full for a window:
 				// degrade to plain allocation.
-				return allocRun(p.src, p.owner, logical, count, goal, out)
+				out, err = allocRun(p.src, p.owner, logical, count, goal, out)
+				p.scratch = out
+				return out, err
 			}
 			p.window = r
 			p.opened = true
@@ -60,6 +63,7 @@ func (p *Reservation) Place(_ StreamID, logical, count, goal int64) ([]Placement
 		}
 		chunk := alloc.Range{Start: p.window.Start, Count: take}
 		if err := p.src.ConvertReserved(p.owner, chunk); err != nil {
+			p.scratch = out
 			return out, err
 		}
 		out = append(out, Placement{Logical: logical, Physical: chunk.Start, Count: take})
@@ -69,6 +73,7 @@ func (p *Reservation) Place(_ StreamID, logical, count, goal int64) ([]Placement
 		p.window.Start += take
 		p.window.Count -= take
 	}
+	p.scratch = out
 	return out, nil
 }
 
@@ -115,8 +120,9 @@ type Static struct {
 	src        BlockSource
 	sizeBlocks int64
 
-	mu     sync.Mutex
-	placed []Placement // the fallocated runs, logical-ordered
+	mu      sync.Mutex
+	placed  []Placement // the fallocated runs, logical-ordered
+	scratch []Placement // reused result buffer; valid until the next Place
 }
 
 // NewStatic builds the policy for a file of sizeBlocks blocks.
@@ -167,7 +173,7 @@ func (p *Static) Place(_ StreamID, logical, count, goal int64) ([]Placement, err
 	if err := p.fallocateLocked(goal); err != nil {
 		return nil, err
 	}
-	var out []Placement
+	out := p.scratch[:0]
 	end := logical + count
 	for _, run := range p.placed {
 		runEnd := run.Logical + run.Count
@@ -188,6 +194,7 @@ func (p *Static) Place(_ StreamID, logical, count, goal int64) ([]Placement, err
 			Preallocated: true,
 		})
 	}
+	p.scratch = out
 	return out, nil
 }
 

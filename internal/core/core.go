@@ -99,7 +99,9 @@ type Policy interface {
 	// Place chooses physical blocks for the extending write of the
 	// logical range [logical, logical+count) by stream. goal is the
 	// caller's locality hint, normally the physical end of the file's
-	// last extent.
+	// last extent. The returned slice may reuse a buffer owned by the
+	// policy and is only valid until its next Place call; callers that
+	// retain placements must copy them.
 	Place(stream StreamID, logical, count, goal int64) ([]Placement, error)
 	// Close releases any temporary reservations the policy holds.
 	// Persistently preallocated blocks stay allocated, as the paper

@@ -18,7 +18,8 @@ func place(t *testing.T, p Policy, s StreamID, logical, count, goal int64) []Pla
 	if err != nil {
 		t.Fatalf("%s.Place(%v, %d, %d): %v", p.Name(), s, logical, count, err)
 	}
-	return out
+	// Place reuses its result buffer across calls; keep a copy.
+	return append([]Placement(nil), out...)
 }
 
 // mapPlacements folds placements into an extent map, clipping out already

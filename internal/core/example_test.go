@@ -48,9 +48,10 @@ func ExampleReservation() {
 	a, b := core.StreamID{Client: 1, PID: 1}, core.StreamID{Client: 2, PID: 1}
 	for i := int64(0); i < 3; i++ {
 		pa, _ := policy.Place(a, 100+i, 1, 0)
+		physA := pa[0].Physical // Place reuses its buffer; read before the next call
 		pb, _ := policy.Place(b, 200+i, 1, 0)
 		fmt.Printf("A@%d->phys %d, B@%d->phys %d\n",
-			100+i, pa[0].Physical, 200+i, pb[0].Physical)
+			100+i, physA, 200+i, pb[0].Physical)
 	}
 	// Output:
 	// A@100->phys 0, B@200->phys 1

@@ -72,6 +72,7 @@ type OnDemand struct {
 	mu      sync.Mutex
 	streams map[StreamID]*streamState
 	stats   OnDemandStats
+	scratch []Placement // reused result buffer; valid until the next Place
 }
 
 // NewOnDemand builds the policy over the given block source. Invalid
@@ -123,27 +124,32 @@ func (p *OnDemand) Place(stream StreamID, logical, count, goal int64) ([]Placeme
 		p.streams[stream] = st
 	}
 
-	var out []Placement
+	out := p.scratch[:0]
 	for count > 0 {
-		placed, n, err := p.placeOnce(st, logical, count, goal)
+		prev := len(out)
+		var n int64
+		var err error
+		out, n, err = p.placeOnce(st, out, logical, count, goal)
 		if err != nil {
+			p.scratch = out
 			return out, err
 		}
-		out = append(out, placed...)
 		logical += n
 		count -= n
-		if len(placed) > 0 {
-			last := placed[len(placed)-1]
+		if len(out) > prev {
+			last := out[len(out)-1]
 			goal = last.Physical + last.Count
 		}
 	}
+	p.scratch = out
 	return out, nil
 }
 
 // placeOnce handles the largest prefix of [logical, logical+count) that
-// falls into a single trigger case and returns the placements plus the
-// number of logical blocks consumed. Callers hold p.mu.
-func (p *OnDemand) placeOnce(st *streamState, logical, count, goal int64) ([]Placement, int64, error) {
+// falls into a single trigger case, appending the placements to out and
+// returning it plus the number of logical blocks consumed. Callers hold
+// p.mu.
+func (p *OnDemand) placeOnce(st *streamState, out []Placement, logical, count, goal int64) ([]Placement, int64, error) {
 	// Case 1: inside the current window — previous preallocation covers
 	// the write; neither trigger hits.
 	if st.cur.ContainsLogical(logical, 1) {
@@ -152,7 +158,7 @@ func (p *OnDemand) placeOnce(st *streamState, logical, count, goal int64) ([]Pla
 			n = rem
 		}
 		p.stats.InWindowWrites++
-		return []Placement{{Logical: logical, Physical: st.cur.PhysicalFor(logical), Count: n}}, n, nil
+		return append(out, Placement{Logical: logical, Physical: st.cur.PhysicalFor(logical), Count: n}), n, nil
 	}
 
 	// Case 2: inside the sequential window — pre_alloc_layout. The
@@ -175,12 +181,12 @@ func (p *OnDemand) placeOnce(st *streamState, logical, count, goal int64) ([]Pla
 		if rem := st.cur.LogicalEnd() - logical; rem < n {
 			n = rem
 		}
-		return []Placement{{
+		return append(out, Placement{
 			Logical:      st.cur.Logical,
 			Physical:     st.cur.Disk,
 			Count:        st.cur.Len,
 			Preallocated: true,
-		}}, n, nil
+		}), n, nil
 	}
 
 	// Case 3: layout_miss — first extend or an out-of-window write.
@@ -197,13 +203,13 @@ func (p *OnDemand) placeOnce(st *streamState, logical, count, goal int64) ([]Pla
 	}
 
 	if st.disabled {
-		out, err := allocRun(p.src, st.owner, logical, count, goal, nil)
+		out, err := allocRun(p.src, st.owner, logical, count, goal, out)
 		return out, count, err
 	}
 
 	// Allocate the written blocks themselves, then initiate the
 	// sequential window right after them.
-	out, err := allocRun(p.src, st.owner, logical, count, goal, nil)
+	out, err := allocRun(p.src, st.owner, logical, count, goal, out)
 	if err != nil {
 		return out, count, err
 	}

@@ -307,7 +307,7 @@ func (c *Controller) Scan() []Candidate {
 	c.stats.Candidates += int64(len(out))
 	c.mu.Unlock()
 	if sp != nil {
-		sp.Annotate("candidates", fmt.Sprint(len(out)))
+		sp.AnnotateInt("candidates", int64(len(out)))
 		sp.End()
 	}
 	return out
@@ -487,8 +487,8 @@ func (c *Controller) moveSlice(p *plan, cfg Config, t *telemetry.Tracer) (int64,
 	var sp *telemetry.ActiveSpan
 	if t != nil {
 		sp = t.Start("defrag", "slice", 0)
-		sp.Annotate("object", fmt.Sprint(p.object))
-		sp.Annotate("blocks", fmt.Sprint(n))
+		sp.AnnotateInt("object", int64(p.object))
+		sp.AnnotateInt("blocks", int64(n))
 	}
 	cost, old, err := c.srv.CopyRange(p.object, c.owner, run.Logical, n, dst)
 	if err == nil {

@@ -1,0 +1,57 @@
+package extent
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestAppendRangeMatchesLookupRange checks the append-into variant returns
+// exactly what LookupRange returns, across holes, clips, and empty results,
+// and that scratch reuse (dst[:0]) does not change results.
+func TestAppendRangeMatchesLookupRange(t *testing.T) {
+	var m Map
+	for _, e := range []Extent{
+		{Logical: 0, Physical: 100, Count: 10},
+		{Logical: 20, Physical: 300, Count: 5, Flags: FlagPrealloc},
+		{Logical: 40, Physical: 500, Count: 8},
+	} {
+		if err := m.Insert(e); err != nil {
+			t.Fatalf("insert %v: %v", e, err)
+		}
+	}
+	scratch := make([]Extent, 0, 4)
+	for _, q := range []struct{ logical, count int64 }{
+		{0, 10}, {5, 3}, {8, 20}, {15, 4}, {0, 50}, {100, 5}, {39, 2},
+	} {
+		want := m.LookupRange(q.logical, q.count)
+		scratch = m.AppendRange(scratch[:0], q.logical, q.count)
+		if len(want) == 0 && len(scratch) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(want, scratch) {
+			t.Fatalf("AppendRange(%d,+%d) = %v, LookupRange = %v", q.logical, q.count, scratch, want)
+		}
+	}
+}
+
+// TestAppendRangeZeroAllocWarm checks the point of the variant: with a
+// warmed scratch slice, range resolution performs no allocation.
+func TestAppendRangeZeroAllocWarm(t *testing.T) {
+	var m Map
+	for i := int64(0); i < 32; i++ {
+		// Discontiguous physicals so nothing merges: 32 extents.
+		if err := m.Insert(Extent{Logical: i * 4, Physical: i * 100, Count: 2}); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+	}
+	scratch := make([]Extent, 0, 64)
+	allocs := testing.AllocsPerRun(100, func() {
+		scratch = m.AppendRange(scratch[:0], 0, 128)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm AppendRange allocates %.1f objects/op, want 0", allocs)
+	}
+	if len(scratch) != 32 {
+		t.Fatalf("resolved %d extents, want 32", len(scratch))
+	}
+}

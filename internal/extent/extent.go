@@ -135,7 +135,14 @@ func (m *Map) Lookup(logical int64) (physical int64, ok bool) {
 // physical extents covering it, clipped to the range. Unmapped gaps (holes)
 // are skipped; callers that need hole detection compare the covered length.
 func (m *Map) LookupRange(logical, count int64) []Extent {
-	var out []Extent
+	return m.AppendRange(nil, logical, count)
+}
+
+// AppendRange is LookupRange appending into dst, so per-lookup hot paths
+// (every block write and read resolves a range) can reuse one scratch slice
+// instead of allocating per call. It returns the extended slice; dst[:0]
+// reuse is safe as long as the previous result is no longer referenced.
+func (m *Map) AppendRange(dst []Extent, logical, count int64) []Extent {
 	end := logical + count
 	for i := m.search(logical); i < len(m.ext) && m.ext[i].Logical < end; i++ {
 		e := m.ext[i]
@@ -146,14 +153,14 @@ func (m *Map) LookupRange(logical, count int64) []Extent {
 		if hi > end {
 			hi = end
 		}
-		out = append(out, Extent{
+		dst = append(dst, Extent{
 			Logical:  lo,
 			Physical: e.Physical + (lo - e.Logical),
 			Count:    hi - lo,
 			Flags:    e.Flags,
 		})
 	}
-	return out
+	return dst
 }
 
 // NextAt returns the first mapped piece at or after logical: the extent

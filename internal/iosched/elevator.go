@@ -11,7 +11,6 @@
 package iosched
 
 import (
-	"fmt"
 	"sort"
 	"sync"
 
@@ -210,9 +209,9 @@ func (e *Elevator) RunTraced(d *disk.Disk, reqs []Request, parent telemetry.Span
 	before := e.Stats()
 	sched := e.Schedule(reqs)
 	delta := e.Stats().Sub(before)
-	sp.Annotate("submitted", fmt.Sprint(len(reqs)))
-	sp.Annotate("dispatched", fmt.Sprint(len(sched)))
-	sp.Annotate("merged", fmt.Sprint(delta.Merged))
+	sp.AnnotateInt("submitted", int64(len(reqs)))
+	sp.AnnotateInt("dispatched", int64(len(sched)))
+	sp.AnnotateInt("merged", int64(delta.Merged))
 	var total sim.Ns
 	for _, r := range sched {
 		name := "read"
@@ -226,8 +225,8 @@ func (e *Elevator) RunTraced(d *disk.Disk, reqs []Request, parent telemetry.Span
 		if d.Stats().Positionings > pos {
 			ds.Event("positioning")
 		}
-		ds.Annotate("start", fmt.Sprint(r.Start))
-		ds.Annotate("blocks", fmt.Sprint(r.Count))
+		ds.AnnotateInt("start", int64(r.Start))
+		ds.AnnotateInt("blocks", int64(r.Count))
 		ds.End()
 		total += cost
 	}

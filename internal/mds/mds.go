@@ -245,7 +245,7 @@ func (s *Server) NoteExtentChurn(n int) {
 	if s.tracer != nil && n > 0 {
 		sp := s.tracer.Start("mds", "extent-churn", s.traceParent)
 		s.tracer.Advance(sim.Ns(n) * s.cfg.ExtentOpNs)
-		sp.Annotate("units", fmt.Sprint(n))
+		sp.AnnotateInt("units", int64(n))
 		sp.End()
 	}
 	s.extentWork(n)

@@ -1,0 +1,165 @@
+package ost
+
+import (
+	"math/bits"
+
+	"redbud/internal/alloc"
+)
+
+// tagStore maps physical block → data tag. Physical addresses are dense
+// (the allocator hands out volume offsets bounded by cfg.Blocks), so the
+// store is a lazily grown slice indexed by block: the per-block map
+// assign/delete that dominated write-path CPU profiles becomes one bounds
+// check and one slot write. A slot is empty when logical1 == 0; occupied
+// slots store logical+1 so the zero value of a freshly grown region means
+// "no tag" without initialization.
+type tagStore struct {
+	slots []tagSlot
+}
+
+// tagSlot is the stored form of one block's tag.
+type tagSlot struct {
+	obj      ObjectID
+	logical1 int64 // logical+1; 0 = empty
+}
+
+// set records that phys carries obj's data for the given logical block.
+func (ts *tagStore) set(phys int64, obj ObjectID, logical int64) {
+	ts.grow(phys + 1)
+	ts.slots[phys] = tagSlot{obj: obj, logical1: logical + 1}
+}
+
+// get returns the tag stored at phys, if any.
+func (ts *tagStore) get(phys int64) (tag, bool) {
+	if phys < 0 || phys >= int64(len(ts.slots)) {
+		return tag{}, false
+	}
+	s := ts.slots[phys]
+	if s.logical1 == 0 {
+		return tag{}, false
+	}
+	return tag{obj: s.obj, logical: s.logical1 - 1}, true
+}
+
+// clearRange drops the tags of every block in [start, end).
+func (ts *tagStore) clearRange(start, end int64) {
+	if start < 0 {
+		start = 0
+	}
+	if end > int64(len(ts.slots)) {
+		end = int64(len(ts.slots))
+	}
+	for b := start; b < end; b++ {
+		ts.slots[b] = tagSlot{}
+	}
+}
+
+// grow extends the store to cover n slots. Slice extension within capacity
+// and fresh append memory are both zeroed, so grown regions read as empty.
+func (ts *tagStore) grow(n int64) {
+	if n <= int64(len(ts.slots)) {
+		return
+	}
+	if n <= int64(cap(ts.slots)) {
+		ts.slots = ts.slots[:n]
+		return
+	}
+	c := 2 * int64(cap(ts.slots))
+	if c < n {
+		c = n
+	}
+	ns := make([]tagSlot, n, c)
+	copy(ns, ts.slots)
+	ts.slots = ns
+}
+
+// blockSet is a grow-on-demand bitmap over logical block addresses — the
+// per-object "carries data" set. It replaces a map[int64]bool whose
+// per-block assigns showed up in profiles; runs come back sorted for free.
+type blockSet struct {
+	words []uint64
+	count int64
+}
+
+// setRange marks blocks [start, start+count) as present.
+func (b *blockSet) setRange(start, count int64) {
+	for i := start; i < start+count; i++ {
+		b.set(i)
+	}
+}
+
+// set marks block i as present.
+func (b *blockSet) set(i int64) {
+	w := i >> 6
+	if w >= int64(len(b.words)) {
+		b.growWords(w + 1)
+	}
+	mask := uint64(1) << uint(i&63)
+	if b.words[w]&mask == 0 {
+		b.words[w] |= mask
+		b.count++
+	}
+}
+
+// has reports whether block i is present.
+func (b *blockSet) has(i int64) bool {
+	w := i >> 6
+	if i < 0 || w >= int64(len(b.words)) {
+		return false
+	}
+	return b.words[w]&(uint64(1)<<uint(i&63)) != 0
+}
+
+// clearFrom removes every block at or beyond start (the truncate shape).
+func (b *blockSet) clearFrom(start int64) {
+	if start < 0 {
+		start = 0
+	}
+	w := start >> 6
+	if w >= int64(len(b.words)) {
+		return
+	}
+	keep := b.words[w] & (uint64(1)<<uint(start&63) - 1)
+	b.count -= int64(bits.OnesCount64(b.words[w] &^ keep))
+	b.words[w] = keep
+	for j := w + 1; j < int64(len(b.words)); j++ {
+		b.count -= int64(bits.OnesCount64(b.words[j]))
+		b.words[j] = 0
+	}
+}
+
+// len returns the number of present blocks.
+func (b *blockSet) len() int64 { return b.count }
+
+// appendRuns appends the maximal runs of present blocks to dst, sorted by
+// address.
+func (b *blockSet) appendRuns(dst []alloc.Range) []alloc.Range {
+	for w, word := range b.words {
+		for word != 0 {
+			bit := int64(bits.TrailingZeros64(word))
+			l := int64(w)<<6 + bit
+			word &^= uint64(1) << uint(bit)
+			if n := len(dst); n > 0 && dst[n-1].End() == l {
+				dst[n-1].Count++
+			} else {
+				dst = append(dst, alloc.Range{Start: l, Count: 1})
+			}
+		}
+	}
+	return dst
+}
+
+// growWords extends the bitmap to cover n words.
+func (b *blockSet) growWords(n int64) {
+	if n <= int64(cap(b.words)) {
+		b.words = b.words[:n]
+		return
+	}
+	c := 2 * int64(cap(b.words))
+	if c < n {
+		c = n
+	}
+	nw := make([]uint64, n, c)
+	copy(nw, b.words)
+	b.words = nw
+}

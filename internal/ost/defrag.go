@@ -148,8 +148,8 @@ func (s *Server) CopyRange(id ObjectID, owner alloc.Owner, logical, count int64,
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	sp, prev := s.startOpLocked("migrate")
-	sp.Annotate("object", fmt.Sprint(id))
-	sp.Annotate("blocks", fmt.Sprint(count))
+	sp.AnnotateInt("object", int64(id))
+	sp.AnnotateInt("blocks", int64(count))
 	defer s.endOpLocked(sp, prev)
 	o, err := s.object(id)
 	if err != nil {
@@ -204,8 +204,8 @@ func (s *Server) CopyRange(id ObjectID, owner alloc.Owner, logical, count int64,
 			return cost, nil, fmt.Errorf("ost%d: migrate commit object %d: %w", s.id, id, err)
 		}
 		for i := int64(0); i < e.Count; i++ {
-			if l := e.Logical + i; o.written[l] {
-				s.tags[pos+i] = tag{obj: id, logical: l}
+			if l := e.Logical + i; o.written.has(l) {
+				s.tags.set(pos+i, id, l)
 			}
 		}
 		pos += e.Count
@@ -234,9 +234,7 @@ func (s *Server) FreeMigrated(id ObjectID, old []extent.Extent) error {
 		}
 		o.owned.Remove(r)
 		s.prefetched.Remove(r)
-		for b := r.Start; b < r.End(); b++ {
-			delete(s.tags, b)
-		}
+		s.tags.clearRange(r.Start, r.End())
 	}
 	return nil
 }
@@ -304,10 +302,10 @@ func (s *Server) CheckConsistency() CheckReport {
 			}
 			for i := int64(0); i < e.Count; i++ {
 				l := e.Logical + i
-				if !o.written[l] {
+				if !o.written.has(l) {
 					continue
 				}
-				got, ok := s.tags[e.Physical+i]
+				got, ok := s.tags.get(e.Physical + i)
 				if !ok || got.obj != id || got.logical != l {
 					rep.problemf("object %d: logical %d (physical %d) carries %+v", id, l, e.Physical+i, got)
 				}

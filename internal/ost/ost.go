@@ -10,7 +10,6 @@ package ost
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 
 	"redbud/internal/alloc"
@@ -101,7 +100,7 @@ type object struct {
 	// space the object consumed.
 	owned alloc.RangeSet
 	// written marks logical blocks that carry data.
-	written map[int64]bool
+	written blockSet
 	goal    int64
 }
 
@@ -115,7 +114,7 @@ type Server struct {
 	sched        *iosched.Elevator
 	alloc        *alloc.Allocator
 	objects      map[ObjectID]*object
-	tags         map[int64]tag
+	tags         tagStore
 	queue        []iosched.Request
 	pendingRead  int64
 	pendingWrite int64
@@ -125,6 +124,16 @@ type Server struct {
 	// Delayed-allocation write buffers (nil unless enabled).
 	buffered       map[ObjectID][]bufWrite
 	bufferedBlocks int64
+
+	// Per-request scratch buffers, reused under mu so the per-block hot
+	// paths resolve extent ranges without allocating. lrScratch backs the
+	// top-level range resolution of one write/read; innerScratch backs the
+	// nested lookups beneath it (gap probing while mapping, readahead
+	// containment) whose results are consumed before the next nested call;
+	// gapScratch backs the prefetch-cache gap list of one read piece.
+	lrScratch    []extent.Extent
+	innerScratch []extent.Extent
+	gapScratch   []alloc.Range
 
 	// flushHist, when attached, observes the device cost of every queue
 	// flush. tracer records client-operation spans; traceParent is the PFS
@@ -154,7 +163,6 @@ func NewServer(id int, cfg Config) *Server {
 		sched:   iosched.NewElevator(cfg.QueueDepth),
 		alloc:   alloc.New(cfg.Blocks, cfg.GroupBlocks),
 		objects: make(map[ObjectID]*object),
-		tags:    make(map[int64]tag),
 	}
 }
 
@@ -227,7 +235,7 @@ func (s *Server) startOpLocked(name string) (*telemetry.ActiveSpan, telemetry.Sp
 		return nil, 0
 	}
 	sp := s.tracer.Start("ost", name, s.traceParent)
-	sp.Annotate("ost", fmt.Sprint(s.id))
+	sp.AnnotateInt("ost", int64(s.id))
 	prev := s.curSpan
 	s.curSpan = sp.ID()
 	return sp, prev
@@ -255,7 +263,6 @@ func (s *Server) CreateObject(id ObjectID, factory PolicyFactory, sizeHint int64
 		id:      id,
 		policy:  factory(s.alloc, sizeHint),
 		factory: factory,
-		written: make(map[int64]bool),
 	}
 	return nil
 }
@@ -304,8 +311,8 @@ func (s *Server) Write(id ObjectID, stream core.StreamID, logical, count int64) 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	sp, prev := s.startOpLocked("write")
-	sp.Annotate("object", fmt.Sprint(id))
-	sp.Annotate("blocks", fmt.Sprint(count))
+	sp.AnnotateInt("object", int64(id))
+	sp.AnnotateInt("blocks", int64(count))
 	defer s.endOpLocked(sp, prev)
 	o, err := s.object(id)
 	if err != nil {
@@ -324,12 +331,13 @@ func (s *Server) writeThroughLocked(o *object, stream core.StreamID, logical, co
 	if err := s.ensureMappedLocked(o, stream, logical, count); err != nil {
 		return err
 	}
-	for _, e := range o.extents.LookupRange(logical, count) {
+	s.lrScratch = o.extents.AppendRange(s.lrScratch[:0], logical, count)
+	for _, e := range s.lrScratch {
 		s.enqueueLocked(iosched.Request{Start: e.Physical, Count: e.Count, Write: true})
 		for i := int64(0); i < e.Count; i++ {
-			s.tags[e.Physical+i] = tag{obj: o.id, logical: e.Logical + i}
-			o.written[e.Logical+i] = true
+			s.tags.set(e.Physical+i, o.id, e.Logical+i)
 		}
+		o.written.setRange(e.Logical, e.Count)
 	}
 	return nil
 }
@@ -340,7 +348,10 @@ func (s *Server) ensureMappedLocked(o *object, stream core.StreamID, logical, co
 	end := logical + count
 	pos := logical
 	for pos < end {
-		covered := o.extents.LookupRange(pos, end-pos)
+		// covered is consumed before the next nested lookup (Place and
+		// insertPlacementsLocked reuse the same scratch).
+		covered := o.extents.AppendRange(s.innerScratch[:0], pos, end-pos)
+		s.innerScratch = covered
 		gapEnd := end
 		if len(covered) > 0 {
 			if covered[0].Logical <= pos {
@@ -370,7 +381,8 @@ func (s *Server) insertPlacementsLocked(o *object, placements []core.Placement) 
 		o.owned.Add(alloc.Range{Start: pl.Physical, Count: pl.Count})
 		logical, count := pl.Logical, pl.Count
 		for count > 0 {
-			covered := o.extents.LookupRange(logical, count)
+			covered := o.extents.AppendRange(s.innerScratch[:0], logical, count)
+			s.innerScratch = covered
 			gapEnd := logical + count
 			if len(covered) > 0 {
 				if covered[0].Logical <= logical {
@@ -412,8 +424,8 @@ func (s *Server) Read(id ObjectID, logical, count int64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	sp, prev := s.startOpLocked("read")
-	sp.Annotate("object", fmt.Sprint(id))
-	sp.Annotate("blocks", fmt.Sprint(count))
+	sp.AnnotateInt("object", int64(id))
+	sp.AnnotateInt("blocks", int64(count))
 	defer s.endOpLocked(sp, prev)
 	o, err := s.object(id)
 	if err != nil {
@@ -424,17 +436,17 @@ func (s *Server) Read(id ObjectID, logical, count int64) error {
 	if err := s.flushObjectLocked(o); err != nil {
 		return err
 	}
-	ext := o.extents.LookupRange(logical, count)
+	s.lrScratch = o.extents.AppendRange(s.lrScratch[:0], logical, count)
 	var mapped int64
-	for _, e := range ext {
+	for _, e := range s.lrScratch {
 		mapped += e.Count
 		s.readWithPrefetchLocked(o, e)
 		for i := int64(0); i < e.Count; i++ {
 			l := e.Logical + i
-			if !o.written[l] {
+			if !o.written.has(l) {
 				continue // preallocated, unwritten: reads as zeroes
 			}
-			got, ok := s.tags[e.Physical+i]
+			got, ok := s.tags.get(e.Physical + i)
 			if !ok || got.obj != id || got.logical != l {
 				return fmt.Errorf("ost%d: data corruption at object %d logical %d (physical %d): got %+v",
 					s.id, id, l, e.Physical+i, got)
@@ -486,9 +498,7 @@ func (s *Server) Delete(id ObjectID) error {
 		if err := s.alloc.Free(r); err != nil {
 			return fmt.Errorf("ost%d: delete object %d: %w", s.id, id, err)
 		}
-		for b := r.Start; b < r.End(); b++ {
-			delete(s.tags, b)
-		}
+		s.tags.clearRange(r.Start, r.End())
 	}
 	delete(s.objects, id)
 	return nil
@@ -521,15 +531,9 @@ func (s *Server) Truncate(id ObjectID, newSize int64) error {
 		}
 		o.owned.Remove(r)
 		s.prefetched.Remove(r)
-		for b := r.Start; b < r.End(); b++ {
-			delete(s.tags, b)
-		}
+		s.tags.clearRange(r.Start, r.End())
 	}
-	for l := range o.written {
-		if l >= newSize {
-			delete(o.written, l)
-		}
-	}
+	o.written.clearFrom(newSize)
 	// Preallocated-but-unmapped blocks past the boundary (clipped
 	// promotions) stay in owned and are reclaimed at Delete; the policy's
 	// windows are reset so future extends reallocate.
@@ -561,20 +565,7 @@ func (s *Server) WrittenRuns(id ObjectID) ([]alloc.Range, error) {
 	if err != nil {
 		return nil, err
 	}
-	blocks := make([]int64, 0, len(o.written))
-	for l := range o.written {
-		blocks = append(blocks, l)
-	}
-	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
-	var runs []alloc.Range
-	for _, l := range blocks {
-		if n := len(runs); n > 0 && runs[n-1].End() == l {
-			runs[n-1].Count++
-		} else {
-			runs = append(runs, alloc.Range{Start: l, Count: 1})
-		}
-	}
-	return runs, nil
+	return o.written.appendRuns(nil), nil
 }
 
 // ObjectCount returns the number of objects resident on the server.
@@ -635,7 +626,8 @@ func (s *Server) readWithPrefetchLocked(o *object, e extent.Extent) {
 		s.prefetched = alloc.RangeSet{}
 	}
 	phys := alloc.Range{Start: e.Physical, Count: e.Count}
-	gaps := s.prefetched.Gaps(phys)
+	s.gapScratch = s.prefetched.AppendGaps(s.gapScratch[:0], phys)
+	gaps := s.gapScratch
 	s.prefetchHits += phys.Count
 	for _, g := range gaps {
 		s.prefetchHits -= g.Count
@@ -644,8 +636,9 @@ func (s *Server) readWithPrefetchLocked(o *object, e extent.Extent) {
 			// Extend through the containing extent, up to the
 			// readahead window.
 			logicalAt := e.Logical + (g.Start - e.Physical)
-			if cont := o.extents.LookupRange(logicalAt, ra); len(cont) > 0 &&
-				cont[0].Physical == g.Start && cont[0].Count > n {
+			cont := o.extents.AppendRange(s.innerScratch[:0], logicalAt, ra)
+			s.innerScratch = cont
+			if len(cont) > 0 && cont[0].Physical == g.Start && cont[0].Count > n {
 				n = cont[0].Count
 			}
 		}

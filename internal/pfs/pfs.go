@@ -11,6 +11,7 @@ package pfs
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"redbud/internal/cache"
@@ -104,6 +105,13 @@ type Config struct {
 	// RF <= 1 keeps the mount on the unreplicated path, byte-identical to
 	// runs without this field.
 	Replication *replica.Config
+	// ParallelDomains overrides the clock-domain fan-out decision. Nil
+	// (auto) runs data-path RPCs on per-OST domain goroutines when the
+	// process has more than one scheduler core and falls back to the serial
+	// loop on a single core, where rendezvous costs outweigh any overlap.
+	// The simulated results are byte-identical either way — the override
+	// exists so tests can pin one path regardless of host width.
+	ParallelDomains *bool
 	// Metrics, when set, instruments the mount into the registry at New
 	// time (labeled with the configuration Name). Multiple mounts may share
 	// one registry; their counters sum.
@@ -187,6 +195,31 @@ type FS struct {
 	rep     *replica.Manager // replica table, nil on unreplicated mounts
 	files   map[inode.Ino]*file
 	nextObj uint64
+
+	// domains are the per-OST clock domains: one worker goroutine per IO
+	// server, each owning that server's disk and fabric link and advancing a
+	// local sim.Clock, rendezvousing into domClk at RPC fan-out boundaries.
+	// They are spun up lazily by the first eligible fan-out (mounts that
+	// trace, replicate, or fault-inject never start them) and torn down by
+	// Close or, as a backstop, the garbage collector.
+	domains *sim.Group
+	domClk  *sim.Clock
+	// Prebuilt domain task bodies, allocated once with the domains so hot
+	// fan-outs submit value tasks without closure allocations. fanFn is the
+	// current window's forEachOSTLocked callback, published to the workers
+	// by the task-channel send and cleared after the rendezvous.
+	taskFan      func(*sim.Clock, sim.Task) error
+	taskWrite    func(*sim.Clock, sim.Task) error
+	taskRead     func(*sim.Clock, sim.Task) error
+	taskExtCount func(*sim.Clock, sim.Task) error
+	fanFn        func(i int) error
+
+	// Reusable fan-out scratch. All three are only touched under fs.mu by
+	// the coordinator; per-OST slots of extScratch/closeScratch are written
+	// by domain tasks (one slot per domain, ordered by the rendezvous).
+	stripeScratch []stripePiece
+	extScratch    []int
+	closeScratch  [][]extent.Extent
 
 	// tracer records per-operation spans; writeHist/readHist observe each
 	// client operation's simulated duration (the trace clock's advance over
@@ -477,6 +510,138 @@ func (fs *FS) policyFactory() ost.PolicyFactory {
 	}
 }
 
+// parallelLocked reports whether data-path fan-out may run on the clock
+// domains. Parallel execution must be unobservable in every simulated
+// metric, so it is disabled whenever shared cross-OST state would make
+// ordering visible: a tracer (one shared timeline and span sequence), a
+// replica manager (shared placement and repair state), or a fault injector
+// (one shared RNG whose draw order is the fault schedule). A single-OST
+// stripe has nothing to overlap. Past those hard requirements the decision
+// is a performance heuristic — overlap only helps with real cores under
+// the scheduler — which Config.ParallelDomains can pin for tests. Callers
+// hold fs.mu.
+func (fs *FS) parallelLocked() bool {
+	if fs.tracer != nil || fs.rep != nil || fs.cfg.RPC.Fault != nil || len(fs.osts) < 2 {
+		return false
+	}
+	if fs.cfg.ParallelDomains != nil {
+		return *fs.cfg.ParallelDomains
+	}
+	return runtime.GOMAXPROCS(0) > 1
+}
+
+// domainsLocked lazily starts the per-OST clock domains. Callers hold fs.mu.
+func (fs *FS) domainsLocked() *sim.Group {
+	if fs.domains == nil {
+		// The coordinator clock lives outside FS so the domain workers keep
+		// only it and the group reachable — letting the collector finalize an
+		// abandoned mount and reap the workers.
+		fs.domClk = new(sim.Clock)
+		fs.domains = sim.NewGroup(fs.domClk, len(fs.osts))
+		fs.taskFan = func(clk *sim.Clock, t sim.Task) error {
+			if err := fs.fanFn(t.Index); err != nil {
+				return err
+			}
+			clk.AdvanceTo(fs.ostBusy(t.Index))
+			return nil
+		}
+		fs.taskWrite = func(clk *sim.Clock, t sim.Task) error {
+			f := t.Ptr.(*file)
+			stream := core.StreamID{Client: uint32(t.Aux >> 32), PID: uint32(t.Aux)}
+			if err := fs.ostc[t.Index].Write(f.objects[t.Index], stream, t.A, t.B); err != nil {
+				return err
+			}
+			clk.AdvanceTo(fs.ostBusy(t.Index))
+			return nil
+		}
+		fs.taskRead = func(clk *sim.Clock, t sim.Task) error {
+			f := t.Ptr.(*file)
+			if err := fs.ostc[t.Index].Read(f.objects[t.Index], t.A, t.B); err != nil {
+				return err
+			}
+			clk.AdvanceTo(fs.ostBusy(t.Index))
+			return nil
+		}
+		fs.taskExtCount = func(clk *sim.Clock, t sim.Task) error {
+			f := t.Ptr.(*file)
+			n, err := fs.ostc[t.Index].ExtentCount(f.objects[t.Index])
+			if err != nil {
+				return err
+			}
+			fs.extScratch[t.Index] = n
+			clk.AdvanceTo(fs.ostBusy(t.Index))
+			return nil
+		}
+		runtime.SetFinalizer(fs, (*FS).Close)
+	}
+	return fs.domains
+}
+
+// Close releases the mount's background resources — the clock-domain
+// workers, if any fan-out started them. The mount must be idle. Close is
+// idempotent, and a closed mount remains usable (a later fan-out simply
+// restarts the domains).
+func (fs *FS) Close() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.domains != nil {
+		fs.domains.Close()
+		fs.domains = nil
+		fs.domClk = nil
+		runtime.SetFinalizer(fs, nil)
+	}
+}
+
+// DomainTime returns the coordinator clock-domain time: the folded maximum
+// of the per-OST timelines as of the last rendezvous, or zero when no
+// parallel fan-out has run.
+func (fs *FS) DomainTime() sim.Ns {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.domClk == nil {
+		return 0
+	}
+	return fs.domClk.Now()
+}
+
+// ostBusy returns OST i's device timeline: the longer of its disk and its
+// FibreChannel link busy time (they pipeline).
+func (fs *FS) ostBusy(i int) sim.Ns {
+	b := fs.osts[i].Disk().Stats().BusyNs
+	if n := fs.fabric.Link(i).Stats().BusyNs; n > b {
+		b = n
+	}
+	return b
+}
+
+// forEachOSTLocked runs fn(i) once per IO server: concurrently on the
+// clock domains when the mount is eligible, in index order otherwise. Each
+// parallel task advances its domain clock to its OST's device timeline
+// before the rendezvous folds them into the coordinator clock. Error
+// semantics differ by design: the serial path stops at the first failing
+// OST, the parallel path runs every OST and reports the lowest-indexed
+// failure — on the fault-free mounts eligible for parallelism, data-path
+// RPCs only fail on usage errors, where the distinction is immaterial.
+// Callers hold fs.mu.
+func (fs *FS) forEachOSTLocked(fn func(i int) error) error {
+	if !fs.parallelLocked() {
+		for i := range fs.osts {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	g := fs.domainsLocked()
+	fs.fanFn = fn
+	for i := range fs.osts {
+		g.Submit(i, sim.Task{Fn: fs.taskFan})
+	}
+	err := g.Rendezvous()
+	fs.fanFn = nil
+	return err
+}
+
 // Mkdir creates a directory.
 func (fs *FS) Mkdir(parent inode.Ino, name string) (inode.Ino, error) {
 	fs.mu.Lock()
@@ -507,23 +672,26 @@ func (fs *FS) Create(parent inode.Ino, name string, sizeHintBlocks int64) (*File
 		return &File{fs: fs, f: f, parent: parent, name: name}, nil
 	}
 	perOST := fs.componentSizeHint(sizeHintBlocks)
-	for i := range fs.ostc {
-		id := ost.ObjectID(fs.nextObj + 1)
+	// Object IDs are assigned serially by the coordinator (the MDS-side
+	// counter), then the object creations fan out.
+	for range fs.ostc {
 		fs.nextObj++
-		if err := fs.ostc[i].CreateObject(id, perOST); err != nil {
-			return nil, err
-		}
-		f.objects = append(f.objects, id)
+		f.objects = append(f.objects, ost.ObjectID(fs.nextObj))
+	}
+	if err := fs.forEachOSTLocked(func(i int) error {
+		return fs.ostc[i].CreateObject(f.objects[i], perOST)
+	}); err != nil {
+		return nil, err
 	}
 	if fs.cfg.Policy == PolicyStatic && sizeHintBlocks > 0 {
-		for i := range fs.ostc {
+		if err := fs.forEachOSTLocked(func(i int) error {
 			n := fs.componentBlocks(sizeHintBlocks, i)
 			if n == 0 {
-				continue
+				return nil
 			}
-			if err := fs.ostc[i].Fallocate(f.objects[i], core.StreamID{}, n); err != nil {
-				return nil, err
-			}
+			return fs.ostc[i].Fallocate(f.objects[i], core.StreamID{}, n)
+		}); err != nil {
+			return nil, err
 		}
 	}
 	fs.files[ino] = f
@@ -581,10 +749,10 @@ func (fs *FS) Delete(parent inode.Ino, name string) error {
 			return err
 		}
 	} else {
-		for i := range fs.ostc {
-			if err := fs.ostc[i].Delete(f.objects[i]); err != nil {
-				return err
-			}
+		if err := fs.forEachOSTLocked(func(i int) error {
+			return fs.ostc[i].Delete(f.objects[i])
+		}); err != nil {
+			return err
 		}
 	}
 	if fs.cache != nil {
@@ -630,7 +798,14 @@ type stripePiece struct {
 
 // stripeRange splits a file-logical range into component pieces.
 func (fs *FS) stripeRange(blk, count int64) []stripePiece {
-	var out []stripePiece
+	return fs.appendStripeRange(nil, blk, count)
+}
+
+// appendStripeRange is stripeRange appending into dst, so the write/read
+// hot paths can reuse one scratch slice per mount instead of allocating a
+// piece list per operation.
+func (fs *FS) appendStripeRange(dst []stripePiece, blk, count int64) []stripePiece {
+	out := dst
 	n := int64(len(fs.osts))
 	su := fs.cfg.StripeBlocks
 	for count > 0 {
@@ -663,12 +838,13 @@ func (fs *FS) stripeRange(blk, count int64) []stripePiece {
 func (fs *FS) Flush() {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	for i, c := range fs.ostc {
+	_ = fs.forEachOSTLocked(func(i int) error {
 		if fs.rep != nil && fs.rep.Down(i) {
-			continue // no point paying retry timeouts on a suspected server
+			return nil // no point paying retry timeouts on a suspected server
 		}
-		_, _ = c.Flush()
-	}
+		_, _ = fs.ostc[i].Flush()
+		return nil
+	})
 }
 
 // Sync flushes the IO servers and the metadata server. On cached mounts
@@ -695,12 +871,8 @@ func (fs *FS) Sync() error {
 // link (they pipeline).
 func (fs *FS) DataBusyMax() sim.Ns {
 	var max sim.Ns
-	for i, srv := range fs.osts {
-		b := srv.Disk().Stats().BusyNs
-		if n := fs.fabric.Link(i).Stats().BusyNs; n > b {
-			b = n
-		}
-		if b > max {
+	for i := range fs.osts {
+		if b := fs.ostBusy(i); b > max {
 			max = b
 		}
 	}
@@ -740,12 +912,29 @@ func (fs *FS) totalExtentsLocked(f *file) (int, error) {
 	if fs.rep != nil {
 		return fs.repTotalExtentsLocked(f)
 	}
-	total := 0
-	for i := range fs.ostc {
-		n, err := fs.ostc[i].ExtentCount(f.objects[i])
-		if err != nil {
+	if fs.extScratch == nil {
+		fs.extScratch = make([]int, len(fs.ostc))
+	}
+	counts := fs.extScratch
+	if fs.parallelLocked() {
+		g := fs.domainsLocked()
+		for i := range fs.osts {
+			g.Submit(i, sim.Task{Fn: fs.taskExtCount, Ptr: f})
+		}
+		if err := g.Rendezvous(); err != nil {
 			return 0, err
 		}
+	} else {
+		for i := range fs.ostc {
+			n, err := fs.ostc[i].ExtentCount(f.objects[i])
+			if err != nil {
+				return 0, err
+			}
+			counts[i] = n
+		}
+	}
+	total := 0
+	for _, n := range counts {
 		total += n
 	}
 	return total, nil
@@ -775,7 +964,7 @@ func (h *File) Write(stream core.StreamID, blk, count int64) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	sp := fs.startOpLocked("write")
-	sp.Annotate("blocks", fmt.Sprint(count))
+	sp.AnnotateInt("blocks", int64(count))
 	begin := fs.tracer.Now()
 	defer func() {
 		fs.observeOpLocked(fs.writeHist, begin)
@@ -802,9 +991,22 @@ func (fs *FS) writeThroughLocked(f *file, stream core.StreamID, blk, count int64
 	if err != nil {
 		return err
 	}
-	for _, p := range fs.stripeRange(blk, count) {
-		if err := fs.ostc[p.ostIdx].Write(f.objects[p.ostIdx], stream, p.logical, p.count); err != nil {
+	pieces := fs.appendStripeRange(fs.stripeScratch[:0], blk, count)
+	fs.stripeScratch = pieces
+	if fs.parallelLocked() {
+		g := fs.domainsLocked()
+		aux := uint64(stream.Client)<<32 | uint64(stream.PID)
+		for _, p := range pieces {
+			g.Submit(p.ostIdx, sim.Task{Fn: fs.taskWrite, A: p.logical, B: p.count, Aux: aux, Ptr: f})
+		}
+		if err := g.Rendezvous(); err != nil {
 			return err
+		}
+	} else {
+		for _, p := range pieces {
+			if err := fs.ostc[p.ostIdx].Write(f.objects[p.ostIdx], stream, p.logical, p.count); err != nil {
+				return err
+			}
 		}
 	}
 	after, err := fs.totalExtentsLocked(f)
@@ -836,7 +1038,7 @@ func (h *File) Read(blk, count int64) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	sp := fs.startOpLocked("read")
-	sp.Annotate("blocks", fmt.Sprint(count))
+	sp.AnnotateInt("blocks", int64(count))
 	begin := fs.tracer.Now()
 	defer func() {
 		fs.observeOpLocked(fs.readHist, begin)
@@ -859,7 +1061,16 @@ func (fs *FS) readThroughLocked(f *file, blk, count int64) error {
 	if fs.rep != nil {
 		return fs.repReadLocked(f, blk, count)
 	}
-	for _, p := range fs.stripeRange(blk, count) {
+	pieces := fs.appendStripeRange(fs.stripeScratch[:0], blk, count)
+	fs.stripeScratch = pieces
+	if fs.parallelLocked() {
+		g := fs.domainsLocked()
+		for _, p := range pieces {
+			g.Submit(p.ostIdx, sim.Task{Fn: fs.taskRead, A: p.logical, B: p.count, Ptr: f})
+		}
+		return g.Rendezvous()
+	}
+	for _, p := range pieces {
 		if err := fs.ostc[p.ostIdx].Read(f.objects[p.ostIdx], p.logical, p.count); err != nil {
 			return err
 		}
@@ -888,10 +1099,10 @@ func (h *File) Truncate(sizeBlocks int64) error {
 			return err
 		}
 	} else {
-		for i := range fs.ostc {
-			if err := fs.ostc[i].Truncate(h.f.objects[i], fs.componentBlocks(sizeBlocks, i)); err != nil {
-				return err
-			}
+		if err := fs.forEachOSTLocked(func(i int) error {
+			return fs.ostc[i].Truncate(h.f.objects[i], fs.componentBlocks(sizeBlocks, i))
+		}); err != nil {
+			return err
 		}
 	}
 	if fs.cache != nil {
@@ -917,12 +1128,9 @@ func (h *File) Fsync() error {
 	if fs.rep != nil {
 		return fs.repFsyncLocked(h.f)
 	}
-	for i := range fs.ostc {
-		if err := fs.ostc[i].Fsync(h.f.objects[i]); err != nil {
-			return err
-		}
-	}
-	return nil
+	return fs.forEachOSTLocked(func(i int) error {
+		return fs.ostc[i].Fsync(h.f.objects[i])
+	})
 }
 
 // Close releases the file's temporary reservations and records its layout
@@ -941,8 +1149,11 @@ func (h *File) Close() error {
 	if fs.rep != nil {
 		return fs.repCloseLocked(h.f)
 	}
-	var layout []extent.Extent
-	for i := range fs.ostc {
+	if fs.closeScratch == nil {
+		fs.closeScratch = make([][]extent.Extent, len(fs.ostc))
+	}
+	perOST := fs.closeScratch
+	if err := fs.forEachOSTLocked(func(i int) error {
 		if err := fs.ostc[i].CloseObject(h.f.objects[i]); err != nil {
 			return err
 		}
@@ -950,6 +1161,16 @@ func (h *File) Close() error {
 		if err != nil {
 			return err
 		}
+		perOST[i] = exts
+		return nil
+	}); err != nil {
+		return err
+	}
+	// The layout summary aggregates in stripe-index order after the
+	// rendezvous, so parallel closes record exactly what serial ones do.
+	var layout []extent.Extent
+	for i, exts := range perOST {
+		perOST[i] = nil
 		// The MDS records a bounded per-component summary that fits
 		// the inode tail in the common case ("in most cases, the
 		// file layout mapping is stuffed in the inode"); the full

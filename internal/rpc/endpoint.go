@@ -27,6 +27,7 @@ const replayCacheSize = 1024
 
 // replayEntry is one executed request's recorded outcome.
 type replayEntry struct {
+	xid  uint64
 	resp Msg
 	err  error
 }
@@ -35,35 +36,62 @@ type replayEntry struct {
 // executed (xid → outcome) pair so a retry of a request whose response was
 // lost returns the original outcome instead of re-executing a
 // non-idempotent operation.
+//
+// The connection assigns xids from one monotone counter, so the xids an
+// endpoint records are strictly increasing: a never-seen request always
+// carries xid > lastXid, and the hot path is a single compare plus a ring
+// write — no map. Only a retransmission (xid ≤ lastXid, rare by
+// construction) scans the ring, newest entry first; retries reuse a
+// just-recorded xid, so the scan terminates within a few probes. Scanning
+// the whole ring on a miss keeps the retention semantics exactly those of
+// the map-backed FIFO this replaces.
 type replayCache struct {
-	entries map[uint64]replayEntry
-	order   []uint64 // FIFO eviction
+	ring    []replayEntry // FIFO; oldest entry at head
+	head    int
+	n       int
+	lastXid uint64 // newest xid recorded; 0 = none (xids start at 1)
 	hits    int64
 }
 
 // newReplayCache builds an empty cache.
 func newReplayCache() *replayCache {
-	return &replayCache{entries: make(map[uint64]replayEntry, replayCacheSize)}
+	return &replayCache{ring: make([]replayEntry, replayCacheSize)}
 }
 
 // lookup returns the recorded outcome of xid, if any.
 func (c *replayCache) lookup(xid uint64) (replayEntry, bool) {
-	e, ok := c.entries[xid]
-	if ok {
-		c.hits++
+	if xid > c.lastXid {
+		return replayEntry{}, false
 	}
-	return e, ok
+	for i := 1; i <= c.n; i++ {
+		e := &c.ring[(c.head+c.n-i)%replayCacheSize]
+		if e.xid == xid {
+			c.hits++
+			return *e, true
+		}
+	}
+	return replayEntry{}, false
 }
 
 // record stores an executed request's outcome, evicting the oldest entry
 // at capacity.
 func (c *replayCache) record(xid uint64, resp Msg, err error) {
-	if len(c.order) >= replayCacheSize {
-		delete(c.entries, c.order[0])
-		c.order = c.order[1:]
+	e := replayEntry{xid: xid, resp: resp, err: err}
+	if c.n == replayCacheSize {
+		// Full: the tail slot coincides with the head slot, so evicting the
+		// oldest and enqueuing the newest is one overwrite plus a rotate.
+		c.ring[c.head] = e
+		c.head = (c.head + 1) % replayCacheSize
+	} else {
+		c.ring[(c.head+c.n)%replayCacheSize] = e
+		c.n++
 	}
-	c.entries[xid] = replayEntry{resp: resp, err: err}
-	c.order = append(c.order, xid)
+	// Monotone: a retried request whose original send was dropped records
+	// an xid older than entries already here; the fast-path guard in lookup
+	// must keep covering those newer entries.
+	if xid > c.lastXid {
+		c.lastXid = xid
+	}
 }
 
 // serveCached wraps a dispatch function with the replay cache.

@@ -278,7 +278,10 @@ func (c *MDSClient) SetLayout(ino inode.Ino, layout []extent.Extent) error {
 
 // NoteExtentChurn reports mapping churn from a data phase.
 func (c *MDSClient) NoteExtentChurn(units int) error {
-	_, err := call[*ExtentChurnResp](c.conn, c.addr, &ExtentChurnReq{Units: units})
+	req := extentChurnReqPool.get()
+	req.Units = units
+	_, err := call[*ExtentChurnResp](c.conn, c.addr, req)
+	extentChurnReqPool.put(req)
 	return err
 }
 

@@ -93,7 +93,7 @@ func (e *OSTEndpoint) dispatch(req Request) (Msg, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &ObjExtCountResp{Count: n}, nil
+		return extCountResp(n), nil
 	case *ObjExtentsReq:
 		exts, err := e.srv.Extents(m.ID)
 		if err != nil {
@@ -129,7 +129,10 @@ func (c *OSTClient) Addr() string { return c.addr }
 
 // CreateObject creates an object under the endpoint's placement policy.
 func (c *OSTClient) CreateObject(id ost.ObjectID, sizeHint int64) error {
-	_, err := call[*ObjCreateResp](c.conn, c.addr, &ObjCreateReq{ID: id, SizeHint: sizeHint})
+	req := objCreateReqPool.get()
+	*req = ObjCreateReq{ID: id, SizeHint: sizeHint}
+	_, err := call[*ObjCreateResp](c.conn, c.addr, req)
+	objCreateReqPool.put(req)
 	return err
 }
 
@@ -144,19 +147,25 @@ func (c *OSTClient) Fallocate(id ost.ObjectID, stream core.StreamID, sizeBlocks 
 // Write stores count component-logical blocks, paying the payload's data
 // transfer.
 func (c *OSTClient) Write(id ost.ObjectID, stream core.StreamID, logical, count int64) error {
-	_, err := call[*ObjWriteResp](c.conn, c.addr, &ObjWriteReq{
+	req := objWriteReqPool.get()
+	*req = ObjWriteReq{
 		ID: id, Stream: stream, Logical: logical, Count: count,
 		Payload: count * c.blockBytes,
-	})
+	}
+	_, err := call[*ObjWriteResp](c.conn, c.addr, req)
+	objWriteReqPool.put(req)
 	return err
 }
 
 // Read fetches count component-logical blocks, paying the payload's data
 // transfer on the response.
 func (c *OSTClient) Read(id ost.ObjectID, logical, count int64) error {
-	_, err := call[*ObjReadResp](c.conn, c.addr, &ObjReadReq{
+	req := objReadReqPool.get()
+	*req = ObjReadReq{
 		ID: id, Logical: logical, Count: count, Payload: count * c.blockBytes,
-	})
+	}
+	_, err := call[*ObjReadResp](c.conn, c.addr, req)
+	objReadReqPool.put(req)
 	return err
 }
 
@@ -168,7 +177,10 @@ func (c *OSTClient) Truncate(id ost.ObjectID, newSize int64) error {
 
 // Fsync forces an object's buffered writes and queued device I/O.
 func (c *OSTClient) Fsync(id ost.ObjectID) error {
-	_, err := call[*ObjFsyncResp](c.conn, c.addr, &ObjFsyncReq{ID: id})
+	req := objFsyncReqPool.get()
+	*req = ObjFsyncReq{ID: id}
+	_, err := call[*ObjFsyncResp](c.conn, c.addr, req)
+	objFsyncReqPool.put(req)
 	return err
 }
 
@@ -190,13 +202,19 @@ func (c *OSTClient) Delete(id ost.ObjectID) error {
 
 // CloseObject releases an object's temporary reservations.
 func (c *OSTClient) CloseObject(id ost.ObjectID) error {
-	_, err := call[*ObjCloseResp](c.conn, c.addr, &ObjCloseReq{ID: id})
+	req := objCloseReqPool.get()
+	*req = ObjCloseReq{ID: id}
+	_, err := call[*ObjCloseResp](c.conn, c.addr, req)
+	objCloseReqPool.put(req)
 	return err
 }
 
 // ExtentCount returns an object's extent count.
 func (c *OSTClient) ExtentCount(id ost.ObjectID) (int, error) {
-	resp, err := call[*ObjExtCountResp](c.conn, c.addr, &ObjExtCountReq{ID: id})
+	req := objExtCountReqPool.get()
+	*req = ObjExtCountReq{ID: id}
+	resp, err := call[*ObjExtCountResp](c.conn, c.addr, req)
+	objExtCountReqPool.put(req)
 	if err != nil {
 		return 0, err
 	}

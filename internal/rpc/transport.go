@@ -1,7 +1,6 @@
 package rpc
 
 import (
-	"fmt"
 	"sync"
 
 	"redbud/internal/netsim"
@@ -228,7 +227,7 @@ func (t *NetTransport) transfer(link *netsim.Link, bytes int64, parent telemetry
 	sp := t.sh.tracer.Start("net", "transfer", parent)
 	cost := link.Transfer(bytes)
 	t.sh.tracer.Advance(cost)
-	sp.Annotate("bytes", fmt.Sprint(bytes))
+	sp.AnnotateInt("bytes", int64(bytes))
 	sp.End()
 }
 

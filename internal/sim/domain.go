@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Domain is one independently advancing region of simulated time: a worker
+// goroutine with a local Clock that executes submitted tasks in FIFO order.
+// One domain owns one set of devices (an OST's disk and its fabric link, in
+// the PFS mount) — only its tasks touch them, so device state needs no
+// extra locking and its timeline can run ahead of (or behind) every other
+// domain between rendezvous points.
+//
+// Causality crosses domains only at rendezvous: Group.Rendezvous drains all
+// pending tasks and folds every domain clock into the coordinator clock via
+// AdvanceTo, exactly the way parallel device timelines have always been
+// folded into one elapsed-time figure in this simulator. Between rendezvous
+// points domains share nothing, so the execution order across domains is
+// unobservable — the property that keeps parallel runs byte-identical to
+// serial ones.
+type Domain struct {
+	group *Group
+	index int
+	clk   Clock
+	tasks chan Task
+}
+
+// Task is one unit of domain work, passed by value so submission performs
+// no allocation on the hot path. Fn should be a long-lived function (built
+// once per coordinator, not per call); the remaining fields are its
+// per-call operands, forwarded verbatim. Ptr holds a single pointer-shaped
+// operand (storing a pointer in an interface does not allocate); A, B and
+// Aux carry scalar operands.
+type Task struct {
+	// Fn executes the task on the domain worker, receiving the domain's
+	// local clock and the task itself (for its operand fields).
+	Fn func(clk *Clock, t Task) error
+	// Index is the submission domain's index, set by Submit.
+	Index int
+	// A and B are scalar operands (offsets, counts).
+	A, B int64
+	// Aux is an extra packed scalar operand.
+	Aux uint64
+	// Ptr is a pointer operand.
+	Ptr any
+}
+
+// Clock returns the domain's local clock. Only the domain's own tasks and
+// post-rendezvous coordinator code may touch it.
+func (d *Domain) Clock() *Clock { return &d.clk }
+
+// Index returns the domain's position in its group.
+func (d *Domain) Index() int { return d.index }
+
+// run is the domain worker: it executes tasks in submission order and
+// records the domain's first error of the current rendezvous window.
+func (d *Domain) run() {
+	defer d.group.done.Done()
+	for t := range d.tasks {
+		err := t.Fn(&d.clk, t)
+		if err != nil && d.group.errs[d.index] == nil {
+			d.group.errs[d.index] = err
+		}
+		d.group.pending.Done()
+	}
+}
+
+// Group is a set of clock domains advancing concurrently between shared
+// rendezvous points, plus the coordinator clock their timelines fold into.
+// A Group is driven by a single coordinator goroutine: Submit and
+// Rendezvous must not be called concurrently with each other.
+type Group struct {
+	coord   *Clock
+	domains []*Domain
+	// pending counts submitted-but-unfinished tasks in the current
+	// rendezvous window; done tracks worker goroutine exit for Close.
+	pending sync.WaitGroup
+	done    sync.WaitGroup
+	// errs[i] is domain i's first error since the last rendezvous; it is
+	// written only by domain i's worker and read by the coordinator after
+	// pending.Wait(), which orders the accesses.
+	errs   []error
+	closed bool
+}
+
+// taskBuffer bounds each domain's submission queue. The coordinator blocks
+// when a domain falls this far behind — natural backpressure, and safe
+// because domains never submit to each other.
+const taskBuffer = 64
+
+// NewGroup builds n domains folding into the coordinator clock. The clock
+// counts its live domains; Clock.Reset panics while any are attached (a
+// reset mid-parallel-run would silently corrupt rendezvous ordering), so
+// groups must be Closed before their coordinator clock is reset.
+func NewGroup(coord *Clock, n int) *Group {
+	if n <= 0 {
+		panic(fmt.Sprintf("sim: NewGroup with %d domains", n))
+	}
+	g := &Group{coord: coord, errs: make([]error, n)}
+	for i := 0; i < n; i++ {
+		d := &Domain{group: g, index: i, tasks: make(chan Task, taskBuffer)}
+		g.domains = append(g.domains, d)
+		g.done.Add(1)
+		go d.run()
+	}
+	coord.attachDomains(n)
+	return g
+}
+
+// Len returns the number of domains.
+func (g *Group) Len() int { return len(g.domains) }
+
+// Domain returns domain i.
+func (g *Group) Domain(i int) *Domain { return g.domains[i] }
+
+// Submit enqueues t on domain i, stamping t.Index = i. Tasks on one domain
+// run in submission order; tasks on different domains run concurrently.
+// t.Fn receives the domain's local clock and may advance it; its error
+// (the first per domain per window) is surfaced by the next Rendezvous.
+// The channel send orders the coordinator's preceding writes before the
+// task body, so per-window state published in coordinator fields (rather
+// than closed over, which would allocate) is safe to read from Fn.
+func (g *Group) Submit(i int, t Task) {
+	if g.closed {
+		panic("sim: Submit on closed Group")
+	}
+	t.Index = i
+	g.pending.Add(1)
+	g.domains[i].tasks <- t
+}
+
+// Rendezvous is the cross-domain barrier: it waits for every submitted task
+// to finish, folds each domain clock into the coordinator clock (AdvanceTo
+// the max), then pulls every domain clock up to the folded time so all
+// timelines restart the next window synchronized. It returns the pending
+// error of the lowest-indexed failed domain, clearing the error slots.
+func (g *Group) Rendezvous() error {
+	g.pending.Wait()
+	for _, d := range g.domains {
+		g.coord.AdvanceTo(d.clk.Now())
+	}
+	now := g.coord.Now()
+	var err error
+	for i, d := range g.domains {
+		d.clk.AdvanceTo(now)
+		if g.errs[i] != nil && err == nil {
+			err = g.errs[i]
+		}
+		g.errs[i] = nil
+	}
+	return err
+}
+
+// Close drains outstanding tasks, stops the workers, and detaches the
+// domains from the coordinator clock (re-arming Clock.Reset). A closed
+// group must not be used again.
+func (g *Group) Close() {
+	if g.closed {
+		return
+	}
+	g.closed = true
+	g.pending.Wait()
+	for _, d := range g.domains {
+		close(d.tasks)
+	}
+	g.done.Wait()
+	g.coord.detachDomains(len(g.domains))
+}

@@ -1,0 +1,179 @@
+package sim
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// TestGroupFoldsMaxTimeline checks the core rendezvous contract: the
+// coordinator clock advances to the slowest domain's local time, and every
+// domain restarts the next window from the folded instant.
+func TestGroupFoldsMaxTimeline(t *testing.T) {
+	var coord Clock
+	g := NewGroup(&coord, 3)
+	defer g.Close()
+
+	costs := []Ns{30, 100, 70}
+	for i, c := range costs {
+		c := c
+		g.Submit(i, Task{Fn: func(clk *Clock, _ Task) error {
+			clk.Advance(c)
+			return nil
+		}})
+	}
+	if err := g.Rendezvous(); err != nil {
+		t.Fatalf("rendezvous: %v", err)
+	}
+	if got := coord.Now(); got != 100 {
+		t.Fatalf("coordinator folded to %d, want max timeline 100", got)
+	}
+	for i := 0; i < g.Len(); i++ {
+		if got := g.Domain(i).Clock().Now(); got != 100 {
+			t.Fatalf("domain %d restarts at %d, want synchronized 100", i, got)
+		}
+	}
+
+	// Second window: advances accumulate from the folded instant.
+	g.Submit(0, Task{Fn: func(clk *Clock, _ Task) error { clk.Advance(5); return nil }})
+	if err := g.Rendezvous(); err != nil {
+		t.Fatalf("rendezvous 2: %v", err)
+	}
+	if got := coord.Now(); got != 105 {
+		t.Fatalf("coordinator at %d after second window, want 105", got)
+	}
+}
+
+// TestGroupFIFOPerDomain checks tasks on one domain run in submission
+// order even under load.
+func TestGroupFIFOPerDomain(t *testing.T) {
+	var coord Clock
+	g := NewGroup(&coord, 2)
+	defer g.Close()
+
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		g.Submit(0, Task{Fn: func(_ *Clock, _ Task) error {
+			order = append(order, i) // only domain 0's worker appends
+			return nil
+		}})
+		g.Submit(1, Task{Fn: func(clk *Clock, _ Task) error { clk.Advance(1); return nil }})
+	}
+	if err := g.Rendezvous(); err != nil {
+		t.Fatalf("rendezvous: %v", err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("domain 0 ran task %d at position %d: order not FIFO", v, i)
+		}
+	}
+}
+
+// TestGroupErrorLowestDomainWins checks deterministic error selection: the
+// lowest-indexed failed domain's first error surfaces, regardless of
+// completion order, and slots clear for the next window.
+func TestGroupErrorLowestDomainWins(t *testing.T) {
+	var coord Clock
+	g := NewGroup(&coord, 3)
+	defer g.Close()
+
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	g.Submit(2, Task{Fn: func(_ *Clock, _ Task) error { return errHigh }})
+	g.Submit(1, Task{Fn: func(_ *Clock, _ Task) error { return errLow }})
+	g.Submit(1, Task{Fn: func(_ *Clock, _ Task) error { return errors.New("second on same domain") }})
+	if err := g.Rendezvous(); err != errLow {
+		t.Fatalf("rendezvous error = %v, want %v (lowest domain, first task)", err, errLow)
+	}
+	// Slots cleared: a clean window reports no error.
+	g.Submit(0, Task{Fn: func(_ *Clock, _ Task) error { return nil }})
+	if err := g.Rendezvous(); err != nil {
+		t.Fatalf("second rendezvous error = %v, want nil", err)
+	}
+}
+
+// TestClockResetPanicsWithLiveDomains is the Reset misuse guard: resetting
+// the coordinator clock while domains are attached must panic, and must
+// work again after the group closes.
+func TestClockResetPanicsWithLiveDomains(t *testing.T) {
+	var coord Clock
+	coord.Advance(42)
+	g := NewGroup(&coord, 2)
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Clock.Reset with live domains did not panic")
+			}
+		}()
+		coord.Reset()
+	}()
+	if got := coord.Now(); got != 42 {
+		t.Fatalf("clock moved to %d during refused reset, want 42", got)
+	}
+
+	g.Close()
+	coord.Reset() // must not panic once domains detach
+	if got := coord.Now(); got != 0 {
+		t.Fatalf("clock at %d after reset, want 0", got)
+	}
+}
+
+// TestSubmitZeroAlloc pins the value-task contract: submitting work with a
+// prebuilt Fn and scalar operands, then rendezvousing, performs no
+// allocation — the property the PFS data path relies on.
+func TestSubmitZeroAlloc(t *testing.T) {
+	var coord Clock
+	g := NewGroup(&coord, 2)
+	defer g.Close()
+
+	var sum atomic.Int64
+	fn := func(clk *Clock, tk Task) error {
+		sum.Add(tk.A + int64(tk.Index))
+		return nil
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		g.Submit(0, Task{Fn: fn, A: 1})
+		g.Submit(1, Task{Fn: fn, A: 2})
+		if err := g.Rendezvous(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Submit+Rendezvous allocates %.1f objects/op, want 0", allocs)
+	}
+	if sum.Load() == 0 {
+		t.Fatal("tasks did not run")
+	}
+}
+
+// TestGroupConcurrentExecution checks domains actually overlap: with
+// GOMAXPROCS>1 available this exercises real concurrency, but the property
+// asserted (all tasks ran, total advance correct) holds on any scheduler.
+func TestGroupConcurrentExecution(t *testing.T) {
+	var coord Clock
+	const n = 4
+	g := NewGroup(&coord, n)
+	defer g.Close()
+
+	var ran atomic.Int64
+	for round := 0; round < 50; round++ {
+		for i := 0; i < n; i++ {
+			g.Submit(i, Task{Fn: func(clk *Clock, _ Task) error {
+				clk.Advance(2)
+				ran.Add(1)
+				return nil
+			}})
+		}
+		if err := g.Rendezvous(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	if got := ran.Load(); got != 50*n {
+		t.Fatalf("ran %d tasks, want %d", got, 50*n)
+	}
+	if got := coord.Now(); got != 100 {
+		t.Fatalf("coordinator at %d, want 100 (50 windows × 2ns lockstep)", got)
+	}
+}

@@ -1,0 +1,37 @@
+package telemetry
+
+import "testing"
+
+// TestCanonInterned checks canonical label strings are shared: two equal
+// label sets (in any map order) canonicalize to the same interned string.
+func TestCanonInterned(t *testing.T) {
+	a := Labels{"layer": "ost", "ost": "3", "fs": "MiF"}.canon()
+	b := Labels{"fs": "MiF", "ost": "3", "layer": "ost"}.canon()
+	if a != b {
+		t.Fatalf("canon mismatch: %q vs %q", a, b)
+	}
+	if want := "fs=MiF,layer=ost,ost=3"; a != want {
+		t.Fatalf("canon = %q, want %q", a, want)
+	}
+	if Labels(nil).canon() != "" || (Labels{}).canon() != "" {
+		t.Fatal("empty labels must canonicalize to \"\"")
+	}
+}
+
+// TestLookupZeroAllocOnHit is the interning guarantee the RPC hot path
+// relies on: re-resolving an already-registered metric identity performs no
+// allocation (the canonical string is interned and the registry key is
+// assembled on the stack).
+func TestLookupZeroAllocOnHit(t *testing.T) {
+	reg := NewRegistry()
+	labels := Labels{"layer": "rpc", "op": "obj.write", "fs": "MiF"}
+	c := reg.Counter("rpc_calls", labels)
+	allocs := testing.AllocsPerRun(200, func() {
+		if reg.Counter("rpc_calls", labels) != c {
+			t.Fatal("lookup returned a different counter")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("re-registering a known counter allocates %.1f objects/op, want 0", allocs)
+	}
+}

@@ -33,22 +33,68 @@ import (
 // {"layer": "ost", "ost": "2"}.
 type Labels map[string]string
 
+// interned is the process-wide canonical-label-string cache. Label sets
+// recur constantly (every mount in a run shares a handful of layer/ost/op
+// combinations), so canon builds its candidate into a stack buffer and
+// returns the one shared heap string per distinct set — repeated
+// registrations and lookups of a known label set allocate nothing.
+var (
+	internMu sync.Mutex
+	interned = make(map[string]string)
+)
+
+// internBytes returns the shared string equal to b, creating it on first
+// sight. The map lookup on []byte compiles without a conversion allocation,
+// so the hit path is allocation-free.
+func internBytes(b []byte) string {
+	internMu.Lock()
+	defer internMu.Unlock()
+	if s, ok := interned[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	interned[s] = s
+	return s
+}
+
+// maxInlineLabels bounds the stack-sorted fast path of canon; label sets in
+// this repository have at most four pairs.
+const maxInlineLabels = 8
+
 // canon renders labels in a canonical sorted k=v form used as a map key and
-// in reports. An empty label set renders as "".
+// in reports, interned so every equal label set shares one string. An empty
+// label set renders as "".
 func (l Labels) canon() string {
 	if len(l) == 0 {
 		return ""
 	}
-	keys := make([]string, 0, len(l))
+	var inline [maxInlineLabels]string
+	var keys []string
+	if len(l) <= maxInlineLabels {
+		keys = inline[:0]
+	} else {
+		keys = make([]string, 0, len(l))
+	}
+	size := 0
 	for k := range l {
 		keys = append(keys, k)
+		size += len(k) + len(l[k]) + 2
 	}
 	sort.Strings(keys)
-	parts := make([]string, 0, len(keys))
-	for _, k := range keys {
-		parts = append(parts, k+"="+l[k])
+	var stack [128]byte
+	buf := stack[:0]
+	if size > len(stack) {
+		buf = make([]byte, 0, size)
 	}
-	return strings.Join(parts, ",")
+	for i, k := range keys {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, k...)
+		buf = append(buf, '=')
+		buf = append(buf, l[k]...)
+	}
+	return internBytes(buf)
 }
 
 // With returns a copy of the labels with one pair added or replaced.
@@ -213,24 +259,37 @@ func (r *Registry) Events() *EventLog {
 	return r.events
 }
 
-// key builds the registry key for a name+labels pair.
+// key builds the registry key for a name+labels pair (report formatting;
+// the hot lookup path builds its key into a stack buffer instead).
 func key(name string, labels Labels) string {
 	return name + "{" + labels.canon() + "}"
 }
 
 // lookup finds or creates the metric, panicking on a kind clash — two
 // components registering the same name with different kinds is an
-// instrumentation bug that would silently corrupt reports.
+// instrumentation bug that would silently corrupt reports. Looking up an
+// already-registered identity allocates nothing: the canonical label string
+// is interned and the key is assembled in a stack buffer the map indexes
+// without conversion.
 func (r *Registry) lookup(name string, labels Labels, kind Kind) *metric {
-	k := key(name, labels)
+	canon := labels.canon()
+	var stack [192]byte
+	buf := stack[:0]
+	if n := len(name) + len(canon) + 2; n > len(stack) {
+		buf = make([]byte, 0, n)
+	}
+	buf = append(buf, name...)
+	buf = append(buf, '{')
+	buf = append(buf, canon...)
+	buf = append(buf, '}')
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	m, ok := r.metrics[k]
+	m, ok := r.metrics[string(buf)]
 	if !ok {
-		m = &metric{name: name, labels: labels.canon(), kind: kind}
-		r.metrics[k] = m
+		m = &metric{name: name, labels: canon, kind: kind}
+		r.metrics[internBytes(buf)] = m
 	} else if m.kind != kind {
-		panic(fmt.Sprintf("telemetry: metric %s re-registered as %s, was %s", k, kind, m.kind))
+		panic(fmt.Sprintf("telemetry: metric %s re-registered as %s, was %s", string(buf), kind, m.kind))
 	}
 	return m
 }

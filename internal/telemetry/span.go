@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"strconv"
 	"sync"
 
 	"redbud/internal/sim"
@@ -148,6 +149,16 @@ func (s *ActiveSpan) Annotate(key, value string) {
 	s.mu.Lock()
 	s.span.Attrs = append(s.span.Attrs, Attr{Key: key, Value: value})
 	s.mu.Unlock()
+}
+
+// AnnotateInt attaches an integer attribute, formatting it only when the
+// span is live — the untraced data path annotates every op, and eager
+// fmt.Sprint at those call sites showed up in CPU profiles.
+func (s *ActiveSpan) AnnotateInt(key string, value int64) {
+	if s == nil {
+		return
+	}
+	s.Annotate(key, strconv.FormatInt(value, 10))
 }
 
 // Event records a point-in-time marker at the current simulated time.

@@ -1,0 +1,8 @@
+//go:build race
+
+package redbud_test
+
+// raceEnabled reports that this binary was built with -race, whose
+// shadow-memory instrumentation adds allocations the ceilings in
+// allocs_test.go do not budget for.
+const raceEnabled = true
