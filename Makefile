@@ -31,15 +31,16 @@ race:
 # smoke exercises the built binaries end to end on a small deterministic
 # config: the defrag recovery benchmark, the client-cache benchmark (cache
 # off vs on over the same request sequence), an offline check of a
-# crash-consistent metadata image saved after a defrag-style rewrite, an
-# offline check of an image populated through a client-cached mount (the
-# flush barriers wrote all of its metadata), a trace replay under
-# injected message loss proving every op completes through the rpc retry
-# path, and the failover benchmark (an OST blackholed mid-write under
-# 3-way replication: zero client errors, redundancy re-replicated onto the
-# survivors). The duplicated mifbench telemetry runs guard determinism:
-# two identical cache-off invocations must produce byte-identical
-# snapshots.
+# crash-consistent metadata image saved after a defrag-style rewrite
+# (exit 2: journal replay repaired it), an offline check of an image
+# populated through a client-cached mount (the flush barriers wrote all
+# of its metadata; exit 0: clean), a small crash-point sweep run twice to
+# guard report determinism, a trace replay under injected message loss
+# proving every op completes through the rpc retry path, and the failover
+# benchmark (an OST blackholed mid-write under 3-way replication: zero
+# client errors, redundancy re-replicated onto the survivors). The
+# duplicated mifbench telemetry runs guard determinism: two identical
+# cache-off invocations must produce byte-identical snapshots.
 smoke:
 	@dir=$$(mktemp -d) && trap 'rm -rf "$$dir"' EXIT && \
 	$(GO) build -o "$$dir" ./cmd/mifbench ./cmd/miffsck ./cmd/miftrace && \
@@ -50,9 +51,12 @@ smoke:
 	"$$dir/mifbench" -scale 0.25 -telemetry "$$dir/t2.json" fig6a > /dev/null && \
 	cmp "$$dir/t1.json" "$$dir/t2.json" && \
 	"$$dir/miffsck" gen -defrag -journal-only "$$dir/fs.img" && \
-	"$$dir/miffsck" check "$$dir/fs.img" && \
+	{ "$$dir/miffsck" check "$$dir/fs.img"; test $$? -eq 2; } && \
 	"$$dir/miffsck" gen -cache -dirs 2 -files 48 "$$dir/cfs.img" && \
 	"$$dir/miffsck" check "$$dir/cfs.img" && \
+	"$$dir/miffsck" sweep -points journal.append.commit,mdfs.checkpoint.home,ost.flush.media,ost.migrate.free,repair.copy.media,cache.sync.flush > "$$dir/sw1.txt" && \
+	"$$dir/miffsck" sweep -points journal.append.commit,mdfs.checkpoint.home,ost.flush.media,ost.migrate.free,repair.copy.media,cache.sync.flush > "$$dir/sw2.txt" && \
+	cmp "$$dir/sw1.txt" "$$dir/sw2.txt" && \
 	"$$dir/miftrace" gen -streams 4 -region 128 > "$$dir/t.trace" && \
 	"$$dir/miftrace" replay -drop-rate 0.05 "$$dir/t.trace" && \
 	"$$dir/mifbench" -scale 0.25 -spans "$$dir/s.json" fig6a > /dev/null && \
@@ -61,14 +65,18 @@ smoke:
 # racesmoke reruns the determinism-sensitive smoke legs on race-built
 # binaries with GORACE=halt_on_error=1: the telemetry-identity pair (two
 # identical runs must produce byte-identical snapshots while the parallel
-# clock domains are active) and a critical-path walk over a span log. A
-# data race in the domain fan-out aborts the run instead of scrolling past.
+# clock domains are active), the full crash-point sweep (every registered
+# point crashed, recovered — journal replay, remount, scrub, repair drain
+# — and verified, with the recovery path under the race detector), and a
+# critical-path walk over a span log. A data race aborts the run instead
+# of scrolling past.
 racesmoke:
 	@dir=$$(mktemp -d) && trap 'rm -rf "$$dir"' EXIT && \
-	$(GO) build -race -o "$$dir" ./cmd/mifbench ./cmd/miftrace && \
+	$(GO) build -race -o "$$dir" ./cmd/mifbench ./cmd/miftrace ./cmd/miffsck && \
 	GORACE=halt_on_error=1 "$$dir/mifbench" -scale 0.25 -telemetry "$$dir/t1.json" fig6a > /dev/null && \
 	GORACE=halt_on_error=1 "$$dir/mifbench" -scale 0.25 -telemetry "$$dir/t2.json" fig6a > /dev/null && \
 	cmp "$$dir/t1.json" "$$dir/t2.json" && \
+	GORACE=halt_on_error=1 "$$dir/miffsck" sweep > /dev/null && \
 	GORACE=halt_on_error=1 "$$dir/mifbench" -scale 0.25 -spans "$$dir/s.json" fig6a > /dev/null && \
 	GORACE=halt_on_error=1 "$$dir/miftrace" critpath "$$dir/s.json" > /dev/null && \
 	echo "racesmoke: ok"

@@ -18,6 +18,7 @@
 //	defrag   online-defragmentation recovery after aging
 //	cache    client block cache off vs on (write-back aggregation, re-reads)
 //	failover OST crash under replication (steering + re-replication)
+//	crashsweep power-fail injection at every registered crash point
 //	all      everything above in order
 //
 // With -telemetry <file>, every data-path mount is instrumented into a
@@ -87,7 +88,7 @@ func main() {
 		return
 	}
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mifbench [flags] {fig6a|fig6b|fig7|table1|fig8|fig9|fig10|ablation|defrag|cache|failover|all}\n")
+		fmt.Fprintf(os.Stderr, "usage: mifbench [flags] {fig6a|fig6b|fig7|table1|fig8|fig9|fig10|ablation|defrag|cache|failover|crashsweep|all}\n")
 		fmt.Fprintf(os.Stderr, "       mifbench compare [-tolerance frac] [-warn-only] [-wall] [-v] <old.json> <new.json>\n")
 		flag.PrintDefaults()
 	}
@@ -120,19 +121,20 @@ func main() {
 		}
 	}
 	runners := map[string]func(float64) error{
-		"fig6a":    runFig6a,
-		"fig6b":    runFig6b,
-		"fig7":     runFig7,
-		"table1":   runTable1,
-		"fig8":     runFig8,
-		"fig9":     runFig9,
-		"fig10":    runFig10,
-		"ablation": runAblation,
-		"defrag":   runDefrag,
-		"cache":    runCache,
-		"failover": runFailover,
+		"fig6a":      runFig6a,
+		"fig6b":      runFig6b,
+		"fig7":       runFig7,
+		"table1":     runTable1,
+		"fig8":       runFig8,
+		"fig9":       runFig9,
+		"fig10":      runFig10,
+		"ablation":   runAblation,
+		"defrag":     runDefrag,
+		"cache":      runCache,
+		"failover":   runFailover,
+		"crashsweep": runCrashSweep,
 	}
-	var order = []string{"fig6a", "fig6b", "fig7", "table1", "fig8", "fig9", "fig10", "ablation", "defrag", "cache", "failover"}
+	var order = []string{"fig6a", "fig6b", "fig7", "table1", "fig8", "fig9", "fig10", "ablation", "defrag", "cache", "failover", "crashsweep"}
 	if exp != "all" {
 		if _, ok := runners[exp]; !ok {
 			flag.Usage()

@@ -5,6 +5,7 @@
 //
 //	miffsck gen [-layout embedded|normal] [-dirs N] [-files N] [-defrag] [-cache] [-journal-only] <out.img>
 //	miffsck check <image.img>
+//	miffsck sweep [-seed N] [-points a,b,...]
 //
 // gen formats a file system, populates it (creates, layouts, deletions,
 // renames), and saves the durable state; with -defrag every surviving
@@ -19,6 +20,22 @@
 // mid-defragmentation) would leave. check loads an image, replays its
 // journal overlay, walks the namespace from the superblock, and reports
 // every structural inconsistency.
+//
+// sweep runs the systematic crash-point sweep (internal/crashsim driven
+// by the internal/workload crashsweep scenario): one power-fail run per
+// registered (crash point, tear mode) pair, each recovered by journal
+// replay, remount, IO-server scrub, and re-replication, then verified.
+// -points restricts the sweep to a comma-separated subset of the
+// registry.
+//
+// Exit codes (the fsck contract, asserted by the command's tests):
+//
+//	0 — check: the image is clean and needed no repair;
+//	    sweep: every run recovered to a consistent state.
+//	1 — check: the image is corrupt (structural fsck problems) or could
+//	    not be read; sweep: a run failed to recover consistent.
+//	2 — check: the image was dirty but repaired — journal replay had to
+//	    re-apply committed records, after which the walk came up clean.
 package main
 
 import (
@@ -43,14 +60,16 @@ func main() {
 	case "gen":
 		gen(os.Args[2:])
 	case "check":
-		check(os.Args[2:])
+		os.Exit(check(os.Args[2:]))
+	case "sweep":
+		os.Exit(sweep(os.Args[2:]))
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: miffsck {gen|check} [flags] <image>")
+	fmt.Fprintln(os.Stderr, "usage: miffsck {gen|check|sweep} [flags] [image]")
 	os.Exit(2)
 }
 
@@ -234,7 +253,10 @@ func genCached(layout mdfs.Layout, dirs, files int, journalOnly bool, out string
 		out, layout, dirs, files, journalOnly)
 }
 
-func check(args []string) {
+// check loads an image and walks it, returning the exit-code contract
+// documented in the package comment: 0 clean, 1 corrupt or unreadable,
+// 2 repaired (journal replay re-applied committed records, then clean).
+func check(args []string) int {
 	fs := flag.NewFlagSet("check", flag.ExitOnError)
 	fs.Parse(args)
 	if fs.NArg() != 1 {
@@ -242,27 +264,34 @@ func check(args []string) {
 	}
 	in, err := os.Open(fs.Arg(0))
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(os.Stderr, "miffsck:", err)
+		return 1
 	}
 	defer in.Close()
 	m, err := mdfs.LoadImage(in)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(os.Stderr, "miffsck:", err)
+		return 1
 	}
+	repaired := m.Store().DirtyBlocks()
 	report := m.Fsck()
 	fmt.Printf("%s: %d directories, %d files, %d reachable metadata blocks\n",
 		fs.Arg(0), report.Dirs, report.Files, report.ReachableBlocks)
 	for _, a := range report.Advisories {
 		fmt.Printf("advisory: %s\n", a)
 	}
-	if report.Clean() {
-		fmt.Println("clean")
-		return
+	if !report.Clean() {
+		for _, p := range report.Problems {
+			fmt.Printf("PROBLEM: %s\n", p)
+		}
+		return 1
 	}
-	for _, p := range report.Problems {
-		fmt.Printf("PROBLEM: %s\n", p)
+	if repaired > 0 {
+		fmt.Printf("repaired: journal replay re-applied %d metadata blocks\n", repaired)
+		return 2
 	}
-	os.Exit(1)
+	fmt.Println("clean")
+	return 0
 }
 
 func fatal(err error) {

@@ -298,6 +298,40 @@ func (a *Allocator) Free(r Range) error {
 	return nil
 }
 
+// AppendAllocatedRuns appends every maximal run of allocated blocks to dst
+// (sorted by start) and returns the extended slice — the volume-level
+// enumeration a post-crash scrub diffs against the per-object owned sets
+// to find orphaned allocations (claimed in the bitmap, owned by nobody).
+func (a *Allocator) AppendAllocatedRuns(dst []Range) []Range {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	start := int64(-1)
+	for w, word := range a.words {
+		if word == 0 {
+			if start >= 0 {
+				dst = append(dst, Range{Start: start, Count: int64(w)*64 - start})
+				start = -1
+			}
+			continue
+		}
+		base := int64(w) * 64
+		for i := int64(0); i < 64 && base+i < a.total; i++ {
+			if word&(1<<uint(i)) != 0 {
+				if start < 0 {
+					start = base + i
+				}
+			} else if start >= 0 {
+				dst = append(dst, Range{Start: start, Count: base + i - start})
+				start = -1
+			}
+		}
+	}
+	if start >= 0 {
+		dst = append(dst, Range{Start: start, Count: a.total - start})
+	}
+	return dst
+}
+
 // Allocated reports whether every block of r is allocated.
 func (a *Allocator) Allocated(r Range) bool {
 	if r.Start < 0 || r.Count <= 0 || r.End() > a.total {

@@ -233,6 +233,20 @@ func (c *Cache) Instrument(reg *telemetry.Registry, labels telemetry.Labels) {
 	reg.GaugeFunc("cache_cached_blocks", labels, func() int64 { return c.Stats().CachedBlocks })
 }
 
+// Reset discards every cached block, clean and dirty alike, without
+// writing anything back — the client rebooting after a power failure. The
+// counters, instrumentation, and configuration survive (they model the
+// observer, not the machine).
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.files = make(map[FileID]*fileState)
+	c.total = 0
+	c.dirty = 0
+	c.lruHead, c.lruTail = nil, nil
+	c.dirtyHead, c.dirtyTail = nil, nil
+}
+
 // SetClock attaches the simulated-time source that stamps the cache's
 // structured events (the PFS layer passes its tracer's Now). A nil fn
 // detaches it.

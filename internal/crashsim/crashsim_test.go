@@ -1,0 +1,155 @@
+package crashsim
+
+import (
+	"errors"
+	"testing"
+
+	"redbud/internal/disk"
+)
+
+// TestInjectorFiresAtOccurrence: an armed injector counts hits across all
+// points but fires exactly at the armed point's N-th hit, with a damage
+// plan for the burst in flight there — and never fires again afterwards
+// (recovery reuses the same mount with the injector still attached).
+func TestInjectorFiresAtOccurrence(t *testing.T) {
+	in := Arm(PtOstFlushMedia, 3, disk.TearTorn, 9)
+	for i := 0; i < 2; i++ {
+		if _, ok := in.Hit(PtOstFlushMedia, 16); ok {
+			t.Fatalf("hit %d fired before the armed occurrence", i+1)
+		}
+		if _, ok := in.Hit(PtOstWriteQueue, 4); ok {
+			t.Fatal("unarmed point fired")
+		}
+	}
+	dmg, ok := in.Hit(PtOstFlushMedia, 16)
+	if !ok {
+		t.Fatal("third hit must fire")
+	}
+	if dmg.Mode != disk.TearTorn || dmg.Count != 16 || dmg.Persisted >= 16 {
+		t.Fatalf("damage %+v, want a torn plan over the 16-block burst", dmg)
+	}
+	if in.Fired() == nil || in.Fired().Point != PtOstFlushMedia {
+		t.Fatalf("Fired() = %+v, want the armed point", in.Fired())
+	}
+	if _, ok := in.Hit(PtOstFlushMedia, 16); ok {
+		t.Fatal("a fired injector must never fire again")
+	}
+	if got := in.Hits(PtOstFlushMedia); got != 4 {
+		t.Fatalf("Hits = %d, want 4 (counting continues after the kill)", got)
+	}
+}
+
+// TestObserverCountsWithoutFiring: the baseline injector counts every hit,
+// never fires, and reports the seen points sorted.
+func TestObserverCountsWithoutFiring(t *testing.T) {
+	obs := Observe()
+	for i := 0; i < 5; i++ {
+		if _, ok := obs.Hit(PtJournalAppendCommit, 2); ok {
+			t.Fatal("observer fired")
+		}
+	}
+	if _, ok := obs.Hit(PtCacheSyncFlush, 0); ok {
+		t.Fatal("observer fired")
+	}
+	if obs.Fired() != nil {
+		t.Fatal("observer recorded a crash")
+	}
+	if got := obs.Hits(PtJournalAppendCommit); got != 5 {
+		t.Fatalf("Hits = %d, want 5", got)
+	}
+	pts := obs.HitPoints()
+	if len(pts) != 2 || pts[0] != PtCacheSyncFlush || pts[1] != PtJournalAppendCommit {
+		t.Fatalf("HitPoints = %v, want sorted pair", pts)
+	}
+}
+
+// TestNilInjectorIsFree: every hot path threads a possibly-nil injector;
+// the nil receiver must be inert for the whole API surface.
+func TestNilInjectorIsFree(t *testing.T) {
+	var in *Injector
+	if _, ok := in.Hit(PtOstFlushMedia, 8); ok {
+		t.Fatal("nil injector fired")
+	}
+	if in.Fired() != nil || in.Hits(PtOstFlushMedia) != 0 || in.HitPoints() != nil {
+		t.Fatal("nil injector leaked state")
+	}
+}
+
+// TestCaptureKillRoundTrip: Kill panics with the fired *Crash, Capture
+// converts exactly that panic into a result, and foreign panics propagate.
+func TestCaptureKillRoundTrip(t *testing.T) {
+	in := Arm(PtMdfsCommitBegin, 1, disk.TearLost, 3)
+	crash, err := Capture(func() error {
+		if _, ok := in.Hit(PtMdfsCommitBegin, 2); ok {
+			in.Kill()
+		}
+		t.Fatal("armed first-occurrence hit did not fire")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crash == nil || crash.Point != PtMdfsCommitBegin || crash.Damage.Persisted != 0 {
+		t.Fatalf("crash = %+v, want a lost-mode kill at the armed point", crash)
+	}
+
+	sentinel := errors.New("plain failure")
+	if crash, err := Capture(func() error { return sentinel }); crash != nil || !errors.Is(err, sentinel) {
+		t.Fatalf("Capture = %v, %v; want the workload error passed through", crash, err)
+	}
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("foreign panic must propagate through Capture")
+			}
+		}()
+		_, _ = Capture(func() error { panic("not a crash") })
+	}()
+}
+
+// TestIdenticalSeedsDrawIdenticalDamage pins the sweep's replay property
+// at the injector level.
+func TestIdenticalSeedsDrawIdenticalDamage(t *testing.T) {
+	draw := func() disk.Damage {
+		in := Arm(PtOstFlushMedia, 1, disk.TearMisdirected, 77)
+		dmg, ok := in.Hit(PtOstFlushMedia, 32)
+		if !ok {
+			t.Fatal("armed hit did not fire")
+		}
+		return dmg
+	}
+	if a, b := draw(), draw(); a != b {
+		t.Fatalf("same seed drew different plans: %+v vs %+v", a, b)
+	}
+}
+
+// TestRegistryIsWellFormed: unique names, known layers, at least one mode
+// each, occurrences >= 1, and the coverage floor the PR promises (>= 20
+// points across the journal, defrag, repair, and cache-flush paths).
+func TestRegistryIsWellFormed(t *testing.T) {
+	pts := Registry()
+	if len(pts) < 20 {
+		t.Fatalf("registry has %d points, want >= 20", len(pts))
+	}
+	layers := map[string]bool{}
+	seen := map[string]bool{}
+	for _, p := range pts {
+		if seen[p.Name] {
+			t.Fatalf("duplicate point %s", p.Name)
+		}
+		seen[p.Name] = true
+		if p.Occurrence < 1 {
+			t.Fatalf("%s: occurrence %d", p.Name, p.Occurrence)
+		}
+		if len(p.Modes) == 0 {
+			t.Fatalf("%s: no tear modes", p.Name)
+		}
+		layers[p.Layer] = true
+	}
+	for _, want := range []string{"journal", "mdfs", "ost", "defrag", "repair", "cache"} {
+		if !layers[want] {
+			t.Fatalf("registry misses layer %q", want)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package crashsim
+
+import (
+	"fmt"
+	"io"
+
+	"redbud/internal/disk"
+	"redbud/internal/telemetry"
+)
+
+// Target is one system-under-test instance a sweep run drives. The
+// factory builds a fresh one per run — crash sweeps never reuse a mount.
+type Target interface {
+	// Run builds the mount with the injector threaded through it and
+	// executes the workload. An armed injector aborts it with a Kill
+	// panic, which the engine captures.
+	Run(in *Injector) error
+	// Recover performs post-crash recovery: journal replay, remount,
+	// IO-server power-fail scrub, re-replication. A nil crash means the
+	// baseline (no-crash) run.
+	Recover(crash *Crash) error
+	// Verify returns every invariant violation found after recovery:
+	// fsck problems, consistency-walk problems, unreadable acknowledged
+	// data, unrestored redundancy. Empty means the run passed.
+	Verify() []string
+}
+
+// TargetFactory builds a fresh target for one sweep run.
+type TargetFactory func() (Target, error)
+
+// SweepConfig parameterizes a sweep.
+type SweepConfig struct {
+	// Seed derives every run's damage-plan RNG. Two sweeps with equal
+	// seeds (and equal workloads) produce byte-identical reports.
+	Seed uint64
+	// Points is the crash-point set to sweep; nil means Registry().
+	Points []Point
+	// Metrics, when set, receives layer=crash telemetry: runs, recovered
+	// runs, failures, and hit-point coverage.
+	Metrics *telemetry.Registry
+}
+
+// RunResult is one (point, mode) run's outcome.
+type RunResult struct {
+	Point      string
+	Layer      string
+	Mode       disk.TearMode
+	Occurrence int
+	// Fired reports whether the armed point was reached; a run that
+	// completes without firing fails the sweep (dead registry entry).
+	Fired bool
+	// Damage is the applied plan (zero when not fired).
+	Damage disk.Damage
+	// RunErr is a workload error other than the injected crash.
+	RunErr string
+	// RecoverErr is a recovery failure.
+	RecoverErr string
+	// Violations are the post-recovery invariant violations.
+	Violations []string
+}
+
+// OK reports whether the run recovered to a consistent state.
+func (r *RunResult) OK() bool {
+	return r.Fired && r.RunErr == "" && r.RecoverErr == "" && len(r.Violations) == 0
+}
+
+// Report is a whole sweep's outcome.
+type Report struct {
+	// Points is the number of distinct crash points swept.
+	Points int
+	// Runs holds one entry per (point, mode), in sweep order.
+	Runs []RunResult
+	// BaselineErr is a failure of the no-crash baseline run (workload
+	// error, verification failure, or an unreachable registered point).
+	BaselineErr string
+}
+
+// Passed reports whether the baseline and every run recovered consistent.
+func (r *Report) Passed() bool {
+	if r.BaselineErr != "" {
+		return false
+	}
+	for i := range r.Runs {
+		if !r.Runs[i].OK() {
+			return false
+		}
+	}
+	return true
+}
+
+// Failures counts non-OK runs.
+func (r *Report) Failures() int {
+	n := 0
+	for i := range r.Runs {
+		if !r.Runs[i].OK() {
+			n++
+		}
+	}
+	return n
+}
+
+// Write renders the report as deterministic text: one line per run, a
+// baseline line, and a summary. No wall-clock state is included, so two
+// identical-seed sweeps render byte-identically.
+func (r *Report) Write(w io.Writer) {
+	if r.BaselineErr != "" {
+		fmt.Fprintf(w, "baseline: FAIL: %s\n", r.BaselineErr)
+	} else {
+		fmt.Fprintf(w, "baseline: ok\n")
+	}
+	for i := range r.Runs {
+		run := &r.Runs[i]
+		status := "recovered-consistent"
+		detail := ""
+		switch {
+		case !run.Fired && run.RunErr != "":
+			status, detail = "FAIL", "workload error: "+run.RunErr
+		case !run.Fired:
+			status, detail = "FAIL", "point did not fire"
+		case run.RunErr != "":
+			status, detail = "FAIL", "workload error: "+run.RunErr
+		case run.RecoverErr != "":
+			status, detail = "FAIL", "recovery error: "+run.RecoverErr
+		case len(run.Violations) > 0:
+			status, detail = "FAIL", fmt.Sprintf("%d violations: %s", len(run.Violations), run.Violations[0])
+		}
+		fmt.Fprintf(w, "%-26s %-7s layer=%-7s occ=%d persisted=%d/%d victim=%d  %s",
+			run.Point, run.Mode, run.Layer, run.Occurrence,
+			run.Damage.Persisted, run.Damage.Count, run.Damage.Victim, status)
+		if detail != "" {
+			fmt.Fprintf(w, ": %s", detail)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "sweep: %d points, %d runs, %d failures\n", r.Points, len(r.Runs), r.Failures())
+}
+
+// Sweep runs the full crash-point sweep: a no-crash baseline (workload
+// must complete, verify clean, and reach every registered point's
+// occurrence), then one run per (point, mode) — crash, recover, verify.
+func Sweep(cfg SweepConfig, factory TargetFactory) (*Report, error) {
+	points := cfg.Points
+	if points == nil {
+		points = Registry()
+	}
+	rep := &Report{Points: len(points)}
+
+	var mCrashRuns, mRecovered, mFailed *telemetry.Counter
+	if cfg.Metrics != nil {
+		labels := telemetry.Labels{"layer": "crash"}
+		mCrashRuns = cfg.Metrics.Counter("crash_runs", labels)
+		mRecovered = cfg.Metrics.Counter("crash_recovered_consistent", labels)
+		mFailed = cfg.Metrics.Counter("crash_failures", labels)
+		cfg.Metrics.GaugeFunc("crash_points", labels, func() int64 { return int64(rep.Points) })
+	}
+
+	// Baseline: observer injector, no kill. Proves the workload is clean
+	// without crashes and that every registered point is reachable at its
+	// configured occurrence — a dead entry here is a sweep failure, not a
+	// silently skipped point.
+	obs := Observe()
+	if err := runBaseline(factory, obs); err != nil {
+		rep.BaselineErr = err.Error()
+	} else {
+		for _, p := range points {
+			if got := obs.Hits(p.Name); got < p.Occurrence {
+				rep.BaselineErr = fmt.Sprintf("point %s: %d hits in baseline, need occurrence %d",
+					p.Name, got, p.Occurrence)
+				break
+			}
+		}
+	}
+
+	seq := uint64(0)
+	for _, p := range points {
+		for _, mode := range p.Modes {
+			seq++
+			res := RunResult{Point: p.Name, Layer: p.Layer, Mode: mode, Occurrence: p.Occurrence}
+			runOne(cfg, factory, p, mode, cfg.Seed+seq*0x9E3779B97F4A7C15, &res)
+			rep.Runs = append(rep.Runs, res)
+			if mCrashRuns != nil {
+				mCrashRuns.Add(1)
+				if res.OK() {
+					mRecovered.Add(1)
+				} else {
+					mFailed.Add(1)
+				}
+			}
+		}
+	}
+	return rep, nil
+}
+
+// runBaseline runs the workload uncrashed and verifies it.
+func runBaseline(factory TargetFactory, in *Injector) error {
+	t, err := factory()
+	if err != nil {
+		return err
+	}
+	crash, err := Capture(func() error { return t.Run(in) })
+	if err != nil {
+		return fmt.Errorf("baseline workload: %w", err)
+	}
+	if crash != nil {
+		return fmt.Errorf("baseline crashed at %s with an observer injector", crash.Point)
+	}
+	if err := t.Recover(nil); err != nil {
+		return fmt.Errorf("baseline recover: %w", err)
+	}
+	if v := t.Verify(); len(v) > 0 {
+		return fmt.Errorf("baseline verify: %d violations: %s", len(v), v[0])
+	}
+	return nil
+}
+
+// runOne executes a single armed run into res.
+func runOne(cfg SweepConfig, factory TargetFactory, p Point, mode disk.TearMode, seed uint64, res *RunResult) {
+	t, err := factory()
+	if err != nil {
+		res.RunErr = err.Error()
+		return
+	}
+	in := Arm(p.Name, p.Occurrence, mode, seed)
+	crash, err := Capture(func() error { return t.Run(in) })
+	if err != nil {
+		res.RunErr = err.Error()
+		return
+	}
+	if crash == nil {
+		return // Fired stays false: the sweep reports the dead point.
+	}
+	res.Fired = true
+	res.Damage = crash.Damage
+	if err := t.Recover(crash); err != nil {
+		res.RecoverErr = err.Error()
+		return
+	}
+	res.Violations = t.Verify()
+}

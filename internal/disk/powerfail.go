@@ -1,0 +1,131 @@
+package disk
+
+import (
+	"fmt"
+
+	"redbud/internal/sim"
+)
+
+// Power-fail write semantics. The disk model carries timing, not bytes, so
+// a power failure is modeled as a deterministic *damage plan*: given the
+// burst of blocks that was in flight when the power was cut, the plan
+// decides which prefix reached the media and whether one payload landed at
+// the wrong address. The caller — who owns the durable-state
+// representation the blocks were destined for (journal region, home
+// blocks, object tags) — applies the plan to its own state.
+//
+// Three failure classes are modeled, matching the classic storage
+// fault-model taxonomy:
+//
+//   - torn: the burst is cut mid-stream; a leading prefix persisted, the
+//     rest never hit the platter.
+//   - lost: the whole burst evaporated — it was acknowledged from the
+//     write cache and the cache contents died with the power.
+//   - misdirected: as torn, but the first unpersisted payload was written
+//     to the wrong address *within the same burst* — a seek landed on the
+//     wrong track. Misdirection outside the in-flight burst (an arbitrary
+//     victim anywhere on the volume) is out of scope: no journaling file
+//     system recovers from it without full-volume checksums, and the
+//     sweep's acceptance bar is 100% recovered-consistent.
+
+// TearMode selects how a power failure damages the in-flight write burst.
+type TearMode int
+
+const (
+	// TearNone: the burst completed, then the power failed. The crash
+	// point still fires — this is the "committed, then died" case.
+	TearNone TearMode = iota
+	// TearTorn: a prefix of the burst persisted.
+	TearTorn
+	// TearLost: none of the burst persisted.
+	TearLost
+	// TearMisdirected: a prefix persisted and the next payload landed on
+	// another block of the same burst.
+	TearMisdirected
+)
+
+// String returns the mode's sweep-report name.
+func (m TearMode) String() string {
+	switch m {
+	case TearNone:
+		return "none"
+	case TearTorn:
+		return "torn"
+	case TearLost:
+		return "lost"
+	case TearMisdirected:
+		return "misdirected"
+	default:
+		return fmt.Sprintf("TearMode(%d)", int(m))
+	}
+}
+
+// ParseTearMode is the inverse of String.
+func ParseTearMode(s string) (TearMode, error) {
+	switch s {
+	case "none":
+		return TearNone, nil
+	case "torn":
+		return TearTorn, nil
+	case "lost":
+		return TearLost, nil
+	case "misdirected":
+		return TearMisdirected, nil
+	}
+	return TearNone, fmt.Errorf("disk: unknown tear mode %q", s)
+}
+
+// Damage is one power failure's effect on an in-flight burst of Count
+// blocks, in the burst's own submission order.
+type Damage struct {
+	// Mode is the failure class the plan was drawn for.
+	Mode TearMode
+	// Count is the burst length the plan covers.
+	Count int64
+	// Persisted is the number of leading blocks that reached the media.
+	// Blocks at index >= Persisted never hit their intended address.
+	Persisted int64
+	// Victim, when >= 0, is the burst index whose on-media content was
+	// overwritten by the payload of index Persisted (the misdirected
+	// write). -1 when no misdirection occurred.
+	Victim int64
+}
+
+// AllPersisted reports whether the whole burst reached the media.
+func (d Damage) AllPersisted() bool { return d.Persisted >= d.Count }
+
+// PlanDamage draws a deterministic damage plan for a power failure that
+// cut a burst of count blocks, using rng as the only entropy source (same
+// seed, same plan). A count of zero — the failure hit between bursts —
+// always yields an empty, fully-persisted plan.
+func PlanDamage(mode TearMode, rng *sim.Rand, count int64) Damage {
+	d := Damage{Mode: mode, Count: count, Persisted: count, Victim: -1}
+	if count <= 0 {
+		return d
+	}
+	switch mode {
+	case TearNone:
+		// Fully persisted.
+	case TearLost:
+		d.Persisted = 0
+	case TearTorn:
+		d.Persisted = rng.Int63n(count)
+	case TearMisdirected:
+		if count < 2 {
+			// A one-block burst has no other address within the burst to
+			// misdirect to; the payload is simply gone.
+			d.Mode = TearLost
+			d.Persisted = 0
+			return d
+		}
+		d.Persisted = rng.Int63n(count)
+		// Victim drawn uniformly from the other count-1 indexes; a victim
+		// below Persisted tears a block that had already persisted.
+		v := rng.Int63n(count - 1)
+		if v >= d.Persisted {
+			v++
+		}
+		d.Victim = v
+	}
+	return d
+}

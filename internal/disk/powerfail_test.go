@@ -1,0 +1,95 @@
+package disk
+
+import (
+	"testing"
+
+	"redbud/internal/sim"
+)
+
+// TestPlanDamageDeterministic: a damage plan is a pure function of (mode,
+// seed, count) — the property the whole crash sweep's byte-identical
+// replay rests on.
+func TestPlanDamageDeterministic(t *testing.T) {
+	for _, mode := range []TearMode{TearNone, TearTorn, TearLost, TearMisdirected} {
+		for seed := uint64(1); seed <= 5; seed++ {
+			a := PlanDamage(mode, sim.NewRand(seed), 64)
+			b := PlanDamage(mode, sim.NewRand(seed), 64)
+			if a != b {
+				t.Fatalf("mode %s seed %d: %+v != %+v", mode, seed, a, b)
+			}
+		}
+	}
+}
+
+// TestPlanDamageBounds pins each mode's structural invariants over many
+// draws: persisted prefix within the burst, victims only on misdirection,
+// the victim never the misdirected payload's own address.
+func TestPlanDamageBounds(t *testing.T) {
+	rng := sim.NewRand(7)
+	for i := 0; i < 1000; i++ {
+		count := int64(2 + i%63)
+		for _, mode := range []TearMode{TearNone, TearTorn, TearLost, TearMisdirected} {
+			d := PlanDamage(mode, rng, count)
+			if d.Count != count {
+				t.Fatalf("%s: Count = %d, want %d", mode, d.Count, count)
+			}
+			if d.Persisted < 0 || d.Persisted > count {
+				t.Fatalf("%s: Persisted = %d outside [0,%d]", mode, d.Persisted, count)
+			}
+			switch mode {
+			case TearNone:
+				if !d.AllPersisted() || d.Victim != -1 {
+					t.Fatalf("none: %+v, want fully persisted and no victim", d)
+				}
+			case TearLost:
+				if d.Persisted != 0 || d.Victim != -1 {
+					t.Fatalf("lost: %+v, want nothing persisted and no victim", d)
+				}
+			case TearTorn:
+				if d.Persisted >= count {
+					t.Fatalf("torn: %+v, want a strict prefix", d)
+				}
+				if d.Victim != -1 {
+					t.Fatalf("torn: %+v, want no victim", d)
+				}
+			case TearMisdirected:
+				if d.Victim < 0 || d.Victim >= count {
+					t.Fatalf("misdirected: victim %d outside burst [0,%d)", d.Victim, count)
+				}
+				if d.Victim == d.Persisted {
+					t.Fatalf("misdirected: %+v, victim is the misdirected payload itself", d)
+				}
+			}
+		}
+	}
+}
+
+// TestPlanDamageDegenerateBursts: a zero burst is fully persisted no
+// matter the mode, and a one-block misdirection (no other address within
+// the burst) degrades to a clean loss.
+func TestPlanDamageDegenerateBursts(t *testing.T) {
+	for _, mode := range []TearMode{TearNone, TearTorn, TearLost, TearMisdirected} {
+		d := PlanDamage(mode, sim.NewRand(1), 0)
+		if !d.AllPersisted() || d.Victim != -1 {
+			t.Fatalf("%s on empty burst: %+v, want trivially persisted", mode, d)
+		}
+	}
+	d := PlanDamage(TearMisdirected, sim.NewRand(1), 1)
+	if d.Mode != TearLost || d.Persisted != 0 || d.Victim != -1 {
+		t.Fatalf("one-block misdirect: %+v, want degraded to lost", d)
+	}
+}
+
+// TestTearModeNames: String and ParseTearMode round-trip, and unknown
+// names are rejected (the miffsck sweep flag parses user input).
+func TestTearModeNames(t *testing.T) {
+	for _, mode := range []TearMode{TearNone, TearTorn, TearLost, TearMisdirected} {
+		got, err := ParseTearMode(mode.String())
+		if err != nil || got != mode {
+			t.Fatalf("round-trip %s: got %v, %v", mode, got, err)
+		}
+	}
+	if _, err := ParseTearMode("shredded"); err == nil {
+		t.Fatal("ParseTearMode must reject unknown modes")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 
+	"redbud/internal/crashsim"
 	"redbud/internal/disk"
 	"redbud/internal/sim"
 	"redbud/internal/telemetry"
@@ -69,6 +70,10 @@ type Journal struct {
 
 	// commitHist, when attached, observes every Commit's device cost.
 	commitHist *telemetry.Histogram
+
+	// crash, when armed, kills the mount at the journal's named crash
+	// points (nil-safe: nil is a no-op).
+	crash *crashsim.Injector
 }
 
 // seqRecord orders committed records against revocations.
@@ -107,6 +112,9 @@ func (j *Journal) Revoke(block int64) {
 // Stats returns a snapshot of the counters.
 func (j *Journal) Stats() Stats { return j.stats }
 
+// SetCrashInjector arms the journal's crash points for a sweep run.
+func (j *Journal) SetCrashInjector(in *crashsim.Injector) { j.crash = in }
+
 // Instrument publishes the journal counters into the registry and attaches
 // a per-commit latency histogram. The journal is serialized by its owning
 // metadata file system, so the collectors read its counters unlocked the
@@ -143,6 +151,24 @@ func (j *Journal) Commit(records []Record) (sim.Ns, error) {
 	var cost sim.Ns
 	if j.live+need > j.size {
 		cost += j.Checkpoint()
+	}
+	// Crash points: the journal's commit block doubles as the
+	// transaction's checksum (jbd2's commit record). Power failing
+	// anywhere in the record blocks — torn, lost, or misdirected — leaves
+	// the commit block unwritten or unverifiable, so the transaction
+	// simply never committed. Only a fully persisted burst at the
+	// commit-block point makes it durable before the lights go out.
+	if _, ok := j.crash.Hit(crashsim.PtJournalAppendRecs, need); ok {
+		j.crash.Kill()
+	}
+	if dmg, ok := j.crash.Hit(crashsim.PtJournalAppendCommit, need); ok {
+		if dmg.AllPersisted() {
+			for _, r := range cloneRecords(records) {
+				j.seq++
+				j.committed = append(j.committed, seqRecord{Record: r, seq: j.seq})
+			}
+		}
+		j.crash.Kill()
 	}
 	// Sequential append, wrapping at the region end.
 	remaining := need
@@ -186,6 +212,13 @@ func (j *Journal) Checkpoint() sim.Ns {
 	var cost sim.Ns
 	if len(batch) > 0 {
 		cost = j.checkpoint(batch)
+	}
+	// Crash point: every home block is written back but the journal
+	// region has not been reset — the next mount replays the whole batch
+	// again. Replay idempotence (full-block records, last-write-wins)
+	// makes the double apply harmless; the sweep proves it.
+	if _, ok := j.crash.Hit(crashsim.PtJournalCheckpointReset, 0); ok {
+		j.crash.Kill()
 	}
 	j.stats.Checkpoints++
 	j.stats.CheckpointBlocks += int64(len(batch))

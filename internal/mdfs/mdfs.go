@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"redbud/internal/alloc"
+	"redbud/internal/crashsim"
 	"redbud/internal/disk"
 	"redbud/internal/inode"
 )
@@ -351,6 +352,12 @@ func (fs *FS) finishOp() error {
 func (fs *FS) Sync() error {
 	if err := fs.store.Commit(); err != nil {
 		return err
+	}
+	// Crash point: the sync's transaction is durably in the journal but
+	// the checkpoint has not started — the classic committed-then-died
+	// window that replay must close.
+	if _, ok := fs.store.crash.Hit(crashsim.PtMdfsSyncGap, 0); ok {
+		fs.store.crash.Kill()
 	}
 	fs.store.Checkpoint()
 	return nil

@@ -15,6 +15,7 @@ import (
 	"container/list"
 	"fmt"
 
+	"redbud/internal/crashsim"
 	"redbud/internal/disk"
 	"redbud/internal/iosched"
 	"redbud/internal/journal"
@@ -54,6 +55,10 @@ type Store struct {
 
 	jnl   *journal.Journal
 	stats StoreStats
+
+	// crash, when armed, kills the mount at the store's named crash
+	// points (nil-safe: nil is a no-op).
+	crash *crashsim.Injector
 }
 
 // NewStore builds a store over d with the journal occupying
@@ -86,6 +91,19 @@ func (s *Store) Journal() *journal.Journal { return s.jnl }
 
 // Stats returns a snapshot of the store counters.
 func (s *Store) Stats() StoreStats { return s.stats }
+
+// SetCrashInjector arms the store's and its journal's crash points for a
+// sweep run.
+func (s *Store) SetCrashInjector(in *crashsim.Injector) {
+	s.crash = in
+	s.jnl.SetCrashInjector(in)
+}
+
+// DirtyBlocks returns the size of the committed-but-unchekpointed overlay —
+// after LoadImage, the number of blocks journal replay had to repair.
+// miffsck's exit-code contract distinguishes "clean" from "repaired" with
+// it.
+func (s *Store) DirtyBlocks() int { return len(s.dirty) }
 
 // BlockSize returns the block size in bytes.
 func (s *Store) BlockSize() int { return s.blockSize }
@@ -258,6 +276,12 @@ func (s *Store) Commit() error {
 		s.order = nil
 		return nil
 	}
+	// Crash point: the transaction is assembled in memory and nothing has
+	// touched the journal — a power failure here loses it whole, which is
+	// exactly what an uncommitted transaction is allowed to do.
+	if _, ok := s.crash.Hit(crashsim.PtMdfsCommitBegin, int64(len(records))); ok {
+		s.crash.Kill()
+	}
 	if _, err := s.jnl.Commit(records); err != nil {
 		return err
 	}
@@ -289,6 +313,23 @@ func (s *Store) Checkpoint() {
 // home through the elevator, so physically adjacent dirty blocks merge into
 // single disk requests.
 func (s *Store) applyCheckpoint(records []journal.Record) sim.Ns {
+	// Crash point: power fails mid write-back. The damage plan decides
+	// which home blocks (in the batch's sorted order) were updated; a
+	// misdirected payload lands on another home block of the same batch.
+	// Every record is still in the journal — the region is reset only
+	// after this function returns — so replay repairs all of it,
+	// including the misdirection victim.
+	if dmg, ok := s.crash.Hit(crashsim.PtMdfsCheckpointHome, int64(len(records))); ok {
+		for i := int64(0); i < dmg.Persisted && i < int64(len(records)); i++ {
+			s.home[records[i].Block] = records[i].Data
+		}
+		if dmg.Victim >= 0 {
+			stray := make([]byte, len(records[dmg.Persisted].Data))
+			copy(stray, records[dmg.Persisted].Data)
+			s.home[records[dmg.Victim].Block] = stray
+		}
+		s.crash.Kill()
+	}
 	reqs := make([]iosched.Request, 0, len(records))
 	for _, r := range records {
 		s.home[r.Block] = r.Data

@@ -41,6 +41,22 @@ func (ts *tagStore) get(phys int64) (tag, bool) {
 	return tag{obj: s.obj, logical: s.logical1 - 1}, true
 }
 
+// slotAt returns the raw slot stored at phys (zero value when out of
+// range) — the pre-image a crash-armed write path records before set.
+func (ts *tagStore) slotAt(phys int64) tagSlot {
+	if phys < 0 || phys >= int64(len(ts.slots)) {
+		return tagSlot{}
+	}
+	return ts.slots[phys]
+}
+
+// setSlot stores a raw slot at phys — the pre-image restore of a
+// power-fail undo.
+func (ts *tagStore) setSlot(phys int64, s tagSlot) {
+	ts.grow(phys + 1)
+	ts.slots[phys] = s
+}
+
 // clearRange drops the tags of every block in [start, end).
 func (ts *tagStore) clearRange(start, end int64) {
 	if start < 0 {
@@ -98,6 +114,20 @@ func (b *blockSet) set(i int64) {
 	if b.words[w]&mask == 0 {
 		b.words[w] |= mask
 		b.count++
+	}
+}
+
+// clear removes block i — the power-fail undo of set, and the scrub's
+// "this block never carried its data" demotion.
+func (b *blockSet) clear(i int64) {
+	w := i >> 6
+	if i < 0 || w >= int64(len(b.words)) {
+		return
+	}
+	mask := uint64(1) << uint(i&63)
+	if b.words[w]&mask != 0 {
+		b.words[w] &^= mask
+		b.count--
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"redbud/internal/alloc"
+	"redbud/internal/crashsim"
 	"redbud/internal/extent"
 	"redbud/internal/iosched"
 	"redbud/internal/sim"
@@ -175,6 +176,11 @@ func (s *Server) CopyRange(id ObjectID, owner alloc.Owner, logical, count int64,
 	if err := s.alloc.ConvertReserved(owner, dst); err != nil {
 		return 0, nil, fmt.Errorf("ost%d: migrate object %d: %w", s.id, id, err)
 	}
+	// Crash point: the destination claim persisted but nothing owns it yet
+	// — an orphaned allocation the post-crash scrub must reclaim.
+	if _, ok := s.crash.Hit(crashsim.PtOstMigrateClaim, dst.Count); ok {
+		s.crash.Kill()
+	}
 
 	// Device I/O: read every old extent that carries data, write its new
 	// home. The batch runs through the elevator directly — defrag I/O
@@ -188,6 +194,20 @@ func (s *Server) CopyRange(id ObjectID, owner alloc.Owner, logical, count int64,
 			reqs = append(reqs, iosched.Request{Start: pos, Count: e.Count, Write: true})
 		}
 		pos += e.Count
+	}
+	// Crash point: power fails during the migration copy. The extent map
+	// still names the old location and the old data is untouched, so the
+	// object survives intact; the claimed destination is an orphan.
+	if s.crash != nil {
+		var n int64
+		for _, r := range reqs {
+			if r.Write {
+				n += r.Count
+			}
+		}
+		if _, ok := s.crash.Hit(crashsim.PtOstMigrateCopy, n); ok {
+			s.crash.Kill()
+		}
 	}
 	var cost sim.Ns
 	if len(reqs) > 0 {
@@ -214,6 +234,13 @@ func (s *Server) CopyRange(id ObjectID, owner alloc.Owner, logical, count int64,
 	if end := dst.End(); end > o.goal {
 		o.goal = end
 	}
+	// Crash point: the commit persisted — map, tags and ownership all name
+	// the new home — but the old extents were never freed. They leak (owned
+	// but unmapped) until the scrub reclaims them; the data is never at
+	// risk, which is the point of the new-before-free ordering.
+	if _, ok := s.crash.Hit(crashsim.PtOstMigrateCommit, count); ok {
+		s.crash.Kill()
+	}
 	return cost, removed, nil
 }
 
@@ -226,6 +253,22 @@ func (s *Server) FreeMigrated(id ObjectID, old []extent.Extent) error {
 	o, err := s.object(id)
 	if err != nil {
 		return err
+	}
+	// Crash point: the free list of a committed migration is torn.
+	// Damage.Persisted counts the old extents released before the failure;
+	// the rest leak until the scrub reclaims them.
+	if dmg, ok := s.crash.Hit(crashsim.PtOstMigrateFree, int64(len(old))); ok {
+		for i := int64(0); i < dmg.Persisted && i < int64(len(old)); i++ {
+			e := old[i]
+			r := alloc.Range{Start: e.Physical, Count: e.Count}
+			if err := s.alloc.Free(r); err != nil {
+				panic(err)
+			}
+			o.owned.Remove(r)
+			s.prefetched.Remove(r)
+			s.tags.clearRange(r.Start, r.End())
+		}
+		s.crash.Kill()
 	}
 	for _, e := range old {
 		r := alloc.Range{Start: e.Physical, Count: e.Count}

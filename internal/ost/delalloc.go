@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"redbud/internal/core"
+	"redbud/internal/crashsim"
 )
 
 // Delayed allocation (§2 related work): "delayed allocation is also
@@ -107,6 +108,12 @@ func (s *Server) Fsync(id ObjectID) error {
 	o, err := s.object(id)
 	if err != nil {
 		return err
+	}
+	// Crash point: power fails at the fsync barrier, before the buffered
+	// and queued writes reach the media — the sync must NOT have been
+	// acknowledged, so everything it covered may legally vanish.
+	if _, ok := s.crash.Hit(crashsim.PtOstFsyncBarrier, s.bufferedBlocks); ok {
+		s.crash.Kill()
 	}
 	if err := s.flushObjectLocked(o); err != nil {
 		return err

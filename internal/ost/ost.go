@@ -14,6 +14,7 @@ import (
 
 	"redbud/internal/alloc"
 	"redbud/internal/core"
+	"redbud/internal/crashsim"
 	"redbud/internal/disk"
 	"redbud/internal/extent"
 	"redbud/internal/iosched"
@@ -143,6 +144,14 @@ type Server struct {
 	tracer      *telemetry.Tracer
 	traceParent telemetry.SpanID
 	curSpan     telemetry.SpanID
+
+	// Crash-sweep state (see crash.go): crash arms the named crash
+	// points; preimg records enqueued writes' durable pre-images while an
+	// injector is attached; flushCrash is the fired damage plan PowerFail
+	// applies.
+	crash      *crashsim.Injector
+	preimg     []writePreImage
+	flushCrash *flushDamage
 }
 
 // NewServer builds IO server id with the given configuration.
@@ -259,6 +268,11 @@ func (s *Server) CreateObject(id ObjectID, factory PolicyFactory, sizeHint int64
 	if _, ok := s.objects[id]; ok {
 		return fmt.Errorf("ost%d: object %d already exists", s.id, id)
 	}
+	// Crash point: the cluster dies with this component's object not yet
+	// created — a file create torn across servers.
+	if _, ok := s.crash.Hit(crashsim.PtOstCreateObject, 0); ok {
+		s.crash.Kill()
+	}
 	s.objects[id] = &object{
 		id:      id,
 		policy:  factory(s.alloc, sizeHint),
@@ -320,9 +334,20 @@ func (s *Server) Write(id ObjectID, stream core.StreamID, logical, count int64) 
 	}
 	if s.cfg.DelayedAllocation {
 		s.bufferWriteLocked(o, stream, logical, count)
-		return s.checkBufferPressureLocked()
+		err = s.checkBufferPressureLocked()
+	} else {
+		err = s.writeThroughLocked(o, stream, logical, count)
 	}
-	return s.writeThroughLocked(o, stream, logical, count)
+	if err != nil {
+		return err
+	}
+	// Crash point: the write was accepted but sits in the volatile queue
+	// (or the delalloc buffer) — power loss here loses it whole, which is
+	// allowed for anything not yet fsynced.
+	if _, ok := s.crash.Hit(crashsim.PtOstWriteQueue, count); ok {
+		s.crash.Kill()
+	}
+	return nil
 }
 
 // writeThroughLocked allocates (through the policy) and queues the device
@@ -333,6 +358,14 @@ func (s *Server) writeThroughLocked(o *object, stream core.StreamID, logical, co
 	}
 	s.lrScratch = o.extents.AppendRange(s.lrScratch[:0], logical, count)
 	for _, e := range s.lrScratch {
+		// Pre-images must be recorded before enqueue: enqueueLocked can
+		// cross the queue-depth threshold and trigger a flush, and the
+		// flush fire point resolves damage against the queue it sees.
+		if s.crash != nil {
+			for i := int64(0); i < e.Count; i++ {
+				s.recordPreImageLocked(o, e.Physical+i, e.Logical+i)
+			}
+		}
 		s.enqueueLocked(iosched.Request{Start: e.Physical, Count: e.Count, Write: true})
 		for i := int64(0); i < e.Count; i++ {
 			s.tags.set(e.Physical+i, o.id, e.Logical+i)
@@ -524,6 +557,25 @@ func (s *Server) Truncate(id ObjectID, newSize int64) error {
 	}
 	const maxLogical = int64(1) << 40
 	removed := o.extents.Delete(newSize, maxLogical-newSize)
+	// Crash point: the truncate's free list is torn partway through. The
+	// mappings are already gone (the extent map update persisted first);
+	// Damage.Persisted counts how many of the removed extents were also
+	// freed before the lights went out. The rest leak — owned but unmapped
+	// — until the post-crash scrub reclaims them, and the written bits past
+	// the boundary dangle until the scrub clears them.
+	if dmg, ok := s.crash.Hit(crashsim.PtOstTruncatePartial, int64(len(removed))); ok {
+		for i := int64(0); i < dmg.Persisted && i < int64(len(removed)); i++ {
+			e := removed[i]
+			r := alloc.Range{Start: e.Physical, Count: e.Count}
+			if err := s.alloc.Free(r); err != nil {
+				panic(err)
+			}
+			o.owned.Remove(r)
+			s.prefetched.Remove(r)
+			s.tags.clearRange(r.Start, r.End())
+		}
+		s.crash.Kill()
+	}
 	for _, e := range removed {
 		r := alloc.Range{Start: e.Physical, Count: e.Count}
 		if err := s.alloc.Free(r); err != nil {
@@ -676,10 +728,31 @@ func (s *Server) flushLocked() sim.Ns {
 	if len(s.queue) == 0 {
 		return 0
 	}
+	// Crash point: power fails mid media-burst. The damage plan decides how
+	// much of the burst (in submission order) persisted, and whether one
+	// payload landed on the wrong block; it is resolved against the queue
+	// now, while tags still hold enqueue-time values.
+	if s.crash != nil {
+		var n int64
+		for _, r := range s.queue {
+			if r.Write {
+				n += r.Count
+			}
+		}
+		if dmg, ok := s.crash.Hit(crashsim.PtOstFlushMedia, n); ok {
+			s.planFlushDamageLocked(dmg)
+			s.crash.Kill()
+		}
+	}
 	cost := s.sched.RunTraced(s.disk, s.queue, s.curSpan)
 	s.queue = s.queue[:0]
 	s.pendingRead = 0
 	s.pendingWrite = 0
+	// A completed flush persisted everything queued; the pre-images of
+	// those writes are no longer needed for power-fail rollback.
+	if s.crash != nil {
+		s.preimg = s.preimg[:0]
+	}
 	if s.flushHist != nil {
 		s.flushHist.Observe(cost)
 	}

@@ -16,6 +16,7 @@ import (
 
 	"redbud/internal/cache"
 	"redbud/internal/core"
+	"redbud/internal/crashsim"
 	"redbud/internal/defrag"
 	"redbud/internal/disk"
 	"redbud/internal/extent"
@@ -105,6 +106,13 @@ type Config struct {
 	// RF <= 1 keeps the mount on the unreplicated path, byte-identical to
 	// runs without this field.
 	Replication *replica.Config
+	// Crash, when set, attaches a crash-point injector to the mount: the
+	// journal, metadata checkpoint, IO-server write/flush/truncate/migrate
+	// paths, replica repair, and cache barriers all announce named crash
+	// points to it, and the armed one kills the mount mid-operation (see
+	// internal/crashsim). Nil — the default — leaves every hot path on its
+	// nil-receiver fast path.
+	Crash *crashsim.Injector
 	// ParallelDomains overrides the clock-domain fan-out decision. Nil
 	// (auto) runs data-path RPCs on per-OST domain goroutines when the
 	// process has more than one scheduler core and falls back to the serial
@@ -257,6 +265,12 @@ func New(cfg Config) (*FS, error) {
 	}
 	for i := 0; i < cfg.OSTs; i++ {
 		fs.osts = append(fs.osts, ost.NewServer(i, cfg.OST))
+	}
+	if cfg.Crash != nil {
+		srv.FS().Store().SetCrashInjector(cfg.Crash)
+		for _, osrv := range fs.osts {
+			osrv.SetCrashInjector(cfg.Crash)
+		}
 	}
 	fs.conn.Register(mdsAddr, rpc.NewMDSEndpoint(mdsAddr, srv), fs.mdsLink)
 	fs.mdsc = rpc.NewMDSClient(fs.conn, mdsAddr)
@@ -429,6 +443,12 @@ func (s cacheStore) WriteBack(f cache.FileID, stream core.StreamID, blk, count i
 	if !ok {
 		return fmt.Errorf("pfs: write-back for unknown inode %d", uint64(f))
 	}
+	// Crash point: the cache chose to write this dirty run back but the
+	// RPCs never left the client — the blocks were only ever in volatile
+	// client memory, so losing them is allowed until a barrier returns.
+	if _, ok := s.fs.cfg.Crash.Hit(crashsim.PtCacheWriteback, count); ok {
+		s.fs.cfg.Crash.Kill()
+	}
 	return s.fs.writeThroughLocked(fl, stream, blk, count)
 }
 
@@ -471,10 +491,24 @@ func (fs *FS) flushFileLocked(f *file, name string, op *telemetry.ActiveSpan) er
 	if fs.cache == nil {
 		return nil
 	}
+	// Crash point: power fails as the barrier starts — nothing written
+	// back, nothing acknowledged.
+	if _, ok := fs.cfg.Crash.Hit(crashsim.PtCacheBarrierFlush, 0); ok {
+		fs.cfg.Crash.Kill()
+	}
 	sp := fs.cacheSpanLocked(name, op)
 	err := fs.cache.FlushFile(cache.FileID(f.ino))
 	fs.endCacheSpanLocked(sp, op)
-	return err
+	if err != nil {
+		return err
+	}
+	// Crash point: the write-backs all left the client, but the barrier's
+	// acknowledgement never reached the application — the data sits in the
+	// servers' volatile queues, unacked, and may still be lost.
+	if _, ok := fs.cfg.Crash.Hit(crashsim.PtCacheBarrierAck, 0); ok {
+		fs.cfg.Crash.Kill()
+	}
+	return nil
 }
 
 // Root returns the root directory.
@@ -514,14 +548,16 @@ func (fs *FS) policyFactory() ost.PolicyFactory {
 // domains. Parallel execution must be unobservable in every simulated
 // metric, so it is disabled whenever shared cross-OST state would make
 // ordering visible: a tracer (one shared timeline and span sequence), a
-// replica manager (shared placement and repair state), or a fault injector
-// (one shared RNG whose draw order is the fault schedule). A single-OST
+// replica manager (shared placement and repair state), a fault injector
+// (one shared RNG whose draw order is the fault schedule), or a crash
+// injector (one shared hit counter whose order IS the crash point). A
+// single-OST
 // stripe has nothing to overlap. Past those hard requirements the decision
 // is a performance heuristic — overlap only helps with real cores under
 // the scheduler — which Config.ParallelDomains can pin for tests. Callers
 // hold fs.mu.
 func (fs *FS) parallelLocked() bool {
-	if fs.tracer != nil || fs.rep != nil || fs.cfg.RPC.Fault != nil || len(fs.osts) < 2 {
+	if fs.tracer != nil || fs.rep != nil || fs.cfg.RPC.Fault != nil || fs.cfg.Crash != nil || len(fs.osts) < 2 {
 		return false
 	}
 	if fs.cfg.ParallelDomains != nil {
@@ -853,6 +889,12 @@ func (fs *FS) Flush() {
 func (fs *FS) Sync() error {
 	fs.mu.Lock()
 	if fs.cache != nil {
+		// Crash point: power fails at the start of the mount-wide flush
+		// barrier, with every file's dirty blocks still client-side.
+		if _, ok := fs.cfg.Crash.Hit(crashsim.PtCacheSyncFlush, 0); ok {
+			fs.mu.Unlock()
+			fs.cfg.Crash.Kill()
+		}
 		if err := fs.cache.Flush(); err != nil {
 			fs.mu.Unlock()
 			return err

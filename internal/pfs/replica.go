@@ -10,9 +10,11 @@ package pfs
 // itself issues no RPCs — the lock order stays fs.mu, then manager.mu.
 
 import (
+	"errors"
 	"fmt"
 
 	"redbud/internal/core"
+	"redbud/internal/crashsim"
 	"redbud/internal/extent"
 	"redbud/internal/ost"
 	"redbud/internal/replica"
@@ -26,11 +28,15 @@ import (
 var repairStream = core.StreamID{Client: 0xFFFFFFFF, PID: 0xFFFFFFFF}
 
 // repSuspect reports whether an error is transport-level evidence that the
-// endpoint is unreachable (timeout or unavailability), as opposed to an
-// application error the server itself computed and answered with.
+// endpoint is unreachable (an exhausted retry budget, a timeout, or an
+// unavailability), as opposed to an application error the server itself
+// computed and answered with.
 func repSuspect(err error) bool {
-	re, ok := err.(*rpc.Error)
-	return ok && re.Kind != rpc.KindBadRequest
+	if errors.Is(err, rpc.ErrRetriesExhausted) {
+		return true
+	}
+	var re *rpc.Error
+	return errors.As(err, &re) && re.Kind != rpc.KindBadRequest
 }
 
 // repPlaceInputsLocked gathers the per-OST capacity/load observations the
@@ -423,6 +429,12 @@ func (fs *FS) RepairStep(force bool) (bool, error) {
 			}
 			return false, err
 		}
+		// Crash point: the destination copy was just reset to empty for the
+		// rebuild — after a recovery it must be rediscovered as stale (its
+		// written coverage is behind) and repaired from scratch.
+		if _, ok := fs.cfg.Crash.Hit(crashsim.PtRepairDstReset, 0); ok {
+			fs.cfg.Crash.Kill()
+		}
 		fs.rep.StartJob(jd, runs)
 		return true, nil
 	}
@@ -451,6 +463,11 @@ func (fs *FS) RepairStep(force bool) (bool, error) {
 		}
 		return false, err
 	}
+	// Crash point: a repair slice was accepted by the destination but sits
+	// in its volatile queue — the half-built copy must come back stale.
+	if _, ok := fs.cfg.Crash.Hit(crashsim.PtRepairCopyMedia, slice.Count); ok {
+		fs.cfg.Crash.Kill()
+	}
 	// Drain both endpoints so the copy's own queued device work never
 	// preempts its next slice.
 	_, _ = fs.ostc[jd.Src].Flush()
@@ -465,6 +482,13 @@ func (fs *FS) RepairStep(force bool) (bool, error) {
 // repFinishLocked commits the in-flight job and publishes a changed replica
 // set to the MDS layout table. Callers hold fs.mu.
 func (fs *FS) repFinishLocked() error {
+	// Crash point: the copy is byte-complete but the job was never
+	// committed — the replica table still calls the destination stale, and
+	// the layout publication never reached the MDS. Recovery re-runs the
+	// (idempotent) repair.
+	if _, ok := fs.cfg.Crash.Hit(crashsim.PtRepairCommitLayout, 0); ok {
+		fs.cfg.Crash.Kill()
+	}
 	done := fs.rep.FinishJob()
 	if done.SetChanged {
 		return fs.mdsc.SetReplicaLayout(done.Key.Ino, done.Key.Comp, done.Replicas)

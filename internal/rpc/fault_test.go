@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"errors"
 	"testing"
 
 	"redbud/internal/telemetry"
@@ -31,9 +32,9 @@ func TestManualCrashBlackholesEndpoint(t *testing.T) {
 	}
 	for i := 0; i < 8; i++ {
 		_, err := cl.Create(srv.Root(), "during")
-		re, ok := err.(*Error)
-		if !ok || re.Kind != KindTimeout {
-			t.Fatalf("call %d to crashed endpoint: err = %v, want KindTimeout", i, err)
+		var ex *ExhaustedError
+		if !errors.As(err, &ex) || ex.Kind != KindTimeout {
+			t.Fatalf("call %d to crashed endpoint: err = %v, want exhausted KindTimeout", i, err)
 		}
 	}
 	if ft.Crashed("mds") != true {

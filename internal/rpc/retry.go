@@ -103,9 +103,11 @@ func (t *RetryTransport) Call(addr string, xid uint64, req Request) (Msg, error)
 			return resp, nil
 		}
 		kind := KindUnavailable
+		var cause error
 		if _, lost := err.(*dropError); lost {
 			// The message vanished: the client finds out by waiting out
-			// the RPC timeout.
+			// the RPC timeout. There is no inspectable cause — the client
+			// learned nothing beyond its own clock.
 			t.sh.advance(p.TimeoutNs)
 			t.sh.m.timeout(t.sh.tracer.Now(), req.RPCOp())
 			kind = KindTimeout
@@ -113,10 +115,18 @@ func (t *RetryTransport) Call(addr string, xid uint64, req Request) (Msg, error)
 			// Application errors and non-retriable RPC failures pass
 			// through.
 			return resp, err
+		} else {
+			cause = re
 		}
 		if attempt >= p.MaxRetries {
 			t.sh.m.exhaust(t.sh.tracer.Now(), req.RPCOp())
-			return nil, &Error{Op: req.RPCOp(), Addr: addr, Kind: kind}
+			return nil, &ExhaustedError{
+				Op:       req.RPCOp(),
+				Addr:     addr,
+				Kind:     kind,
+				Attempts: attempt + 1,
+				Cause:    cause,
+			}
 		}
 		t.sh.m.retry(t.sh.tracer.Now(), req.RPCOp())
 		t.sh.advance(backoff)

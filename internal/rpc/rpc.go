@@ -171,7 +171,8 @@ func (e *Error) Transient() bool { return e.Kind == KindUnavailable }
 
 // dropError is the fault layer's internal signal that a message was lost in
 // transit. The retry layer converts it into a charged timeout; it never
-// escapes a Conn call (exhausted retries surface as *Error{KindTimeout}).
+// escapes a Conn call (exhausted retries surface as *ExhaustedError with
+// KindTimeout).
 type dropError struct {
 	response bool // the response was lost (the server executed the request)
 }

@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -242,9 +243,15 @@ func TestRetryExhaustionSurfacesTimeout(t *testing.T) {
 	conn.Register("mds", NewMDSEndpoint("mds", srv), nil)
 	cl := NewMDSClient(conn, "mds")
 	_, err := cl.Create(srv.Root(), "doomed")
-	re, ok := err.(*Error)
-	if !ok || re.Kind != KindTimeout {
-		t.Fatalf("err = %v, want rpc timeout error", err)
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) || ex.Kind != KindTimeout {
+		t.Fatalf("err = %v, want ExhaustedError with KindTimeout", err)
+	}
+	if !errors.Is(err, ErrRetriesExhausted) {
+		t.Fatalf("err = %v, want errors.Is(err, ErrRetriesExhausted)", err)
+	}
+	if ex.Attempts != 3 {
+		t.Fatalf("Attempts = %d, want 3 (first try + 2 retries)", ex.Attempts)
 	}
 	if got := srv.Stats().RPCs; got != 0 {
 		t.Fatalf("server executed %d RPCs, want 0 (every request dropped)", got)
@@ -266,9 +273,12 @@ func TestNoRetryPolicyFailsOnFirstDrop(t *testing.T) {
 	conn.Instrument(reg, telemetry.Labels{"layer": "rpc"})
 	cl := NewMDSClient(conn, "mds")
 	_, err := cl.Create(srv.Root(), "dropped")
-	re, ok := err.(*Error)
-	if !ok || re.Kind != KindTimeout {
-		t.Fatalf("err = %v, want rpc KindTimeout on the first drop", err)
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) || ex.Kind != KindTimeout {
+		t.Fatalf("err = %v, want ExhaustedError with KindTimeout on the first drop", err)
+	}
+	if ex.Attempts != 1 {
+		t.Fatalf("Attempts = %d, want 1 (no re-sends)", ex.Attempts)
 	}
 	if got := counterValue(reg, "rpc_retries", ""); got != 0 {
 		t.Fatalf("no-retry policy re-sent %d times, want 0", got)

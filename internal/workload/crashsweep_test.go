@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"redbud/internal/crashsim"
+	"redbud/internal/telemetry"
+)
+
+// TestCrashSweepFullRegistryRecovers is the PR's headline guarantee: the
+// sweep enumerates every registered crash point (>= 20, spanning the
+// journal, defrag, repair, and cache-flush paths), the baseline reaches
+// each one, and every (point, tear-mode) run recovers to a consistent,
+// fsck-clean state with all acknowledged data readable. Two identical-seed
+// sweeps must render byte-identical reports.
+func TestCrashSweepFullRegistryRecovers(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	cfg := DefaultCrashSweepConfig()
+	cfg.Metrics = reg
+	rep, err := RunCrashSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	rep.Write(&out)
+	if !rep.Passed() {
+		t.Fatalf("sweep failed:\n%s", out.String())
+	}
+	if rep.Points < 20 {
+		t.Fatalf("swept %d points, want >= 20", rep.Points)
+	}
+	layers := map[string]bool{}
+	for _, r := range rep.Runs {
+		layers[r.Layer] = true
+		if !r.Fired {
+			t.Fatalf("point %s never fired", r.Point)
+		}
+	}
+	for _, want := range []string{"journal", "mdfs", "ost", "defrag", "repair", "cache"} {
+		if !layers[want] {
+			t.Fatalf("no crash point on layer %q; got %v", want, layers)
+		}
+	}
+
+	// layer=crash telemetry mirrors the report.
+	counter := func(name string) int64 {
+		for _, s := range reg.Snapshot() {
+			if s.Name == name {
+				return s.Value
+			}
+		}
+		t.Fatalf("metric %s not registered", name)
+		return 0
+	}
+	if got := counter("crash_runs"); got != int64(len(rep.Runs)) {
+		t.Fatalf("crash_runs = %d, want %d", got, len(rep.Runs))
+	}
+	if got := counter("crash_recovered_consistent"); got != int64(len(rep.Runs)) {
+		t.Fatalf("crash_recovered_consistent = %d, want %d", got, len(rep.Runs))
+	}
+	if got := counter("crash_failures"); got != 0 {
+		t.Fatalf("crash_failures = %d, want 0", got)
+	}
+	if got := counter("crash_points"); got != int64(rep.Points) {
+		t.Fatalf("crash_points = %d, want %d", got, rep.Points)
+	}
+
+	rep2, err := RunCrashSweep(DefaultCrashSweepConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out2 bytes.Buffer
+	rep2.Write(&out2)
+	if !bytes.Equal(out.Bytes(), out2.Bytes()) {
+		t.Fatalf("identical-seed sweeps rendered different reports:\n--- run 1\n%s--- run 2\n%s",
+			out.String(), out2.String())
+	}
+}
+
+// TestCrashSweepPointSubset pins the subset selector the smoke target
+// uses: named points sweep in registry order, unknown names are an error
+// (a typo must not silently shrink coverage).
+func TestCrashSweepPointSubset(t *testing.T) {
+	cfg := DefaultCrashSweepConfig()
+	cfg.Points = []string{crashsim.PtCacheSyncFlush, crashsim.PtJournalAppendCommit}
+	rep, err := RunCrashSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Points != 2 {
+		t.Fatalf("swept %d points, want 2", rep.Points)
+	}
+	var out bytes.Buffer
+	rep.Write(&out)
+	if !rep.Passed() {
+		t.Fatalf("subset sweep failed:\n%s", out.String())
+	}
+
+	cfg.Points = []string{"no.such.point"}
+	if _, err := RunCrashSweep(cfg); err == nil ||
+		!strings.Contains(err.Error(), "no.such.point") {
+		t.Fatalf("unknown point: err = %v, want named error", err)
+	}
+}
+
+// TestCrashSweepInjectorIsFree is the zero-overhead guard: mounting the
+// sweep workload with an attached-but-unarmed (observer) injector must
+// leave every simulated metric byte-identical to the vanilla mount — the
+// crash seam may not perturb the performance model it instruments.
+func TestCrashSweepInjectorIsFree(t *testing.T) {
+	run := func(in *crashsim.Injector) string {
+		tgt := &crashTarget{cfg: DefaultCrashSweepConfig(), reg: telemetry.NewRegistry()}
+		if err := tgt.Run(in); err != nil {
+			t.Fatal(err)
+		}
+		if v := tgt.Verify(); len(v) > 0 {
+			t.Fatalf("clean run verify: %v", v)
+		}
+		var b bytes.Buffer
+		if err := tgt.reg.WriteText(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	vanilla := run(nil)
+	observed := run(crashsim.Observe())
+	if vanilla != observed {
+		t.Fatalf("observer injector perturbed the simulated metrics:\n--- vanilla\n%s\n--- observed\n%s",
+			vanilla, observed)
+	}
+}
