@@ -1,0 +1,133 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"redbud/internal/mdfs"
+)
+
+// benchPoint is one worker-count measurement of the fsck pipeline.
+type benchPoint struct {
+	Workers         int     `json:"workers"`
+	BestNs          int64   `json:"best_ns"`
+	MeanNs          int64   `json:"mean_ns"`
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+}
+
+// benchReport is the JSON document bench emits (BENCH_pr10.json schema).
+type benchReport struct {
+	Schema          string       `json:"schema"`
+	Image           string       `json:"image"`
+	Layout          string       `json:"layout"`
+	Dirs            int          `json:"dirs"`
+	Files           int          `json:"files"`
+	ReachableBlocks int64        `json:"reachable_blocks"`
+	GOMAXPROCS      int          `json:"gomaxprocs"`
+	Runs            int          `json:"runs_per_point"`
+	Points          []benchPoint `json:"points"`
+}
+
+// bench loads an image once and times FsckWith across a list of worker
+// counts, re-verifying after every run that the report is identical to
+// the serial one (the determinism contract), then prints — and with
+// -json writes — the wall-clock curve. The scan stage runs on host
+// goroutines, not the simulated disk, so this is real wall-clock time:
+// on a single-core host (GOMAXPROCS=1, recorded in the output) the curve
+// is expected to be flat, which is exactly why the JSON carries the
+// scheduler width alongside the numbers.
+func bench(args []string) int {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	workerList := fs.String("workers", "1,2,4,8", "comma-separated worker counts to time")
+	runs := fs.Int("runs", 5, "timed runs per worker count")
+	jsonOut := fs.String("json", "", "write the curve as JSON to this file")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	var widths []int
+	for _, s := range strings.Split(*workerList, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || w < 1 {
+			fatal(fmt.Errorf("bad -workers entry %q", s))
+		}
+		widths = append(widths, w)
+	}
+	if len(widths) == 0 || *runs < 1 {
+		usage()
+	}
+
+	in, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	m, err := mdfs.LoadImage(in)
+	in.Close()
+	if err != nil {
+		fatal(err)
+	}
+	serial := m.FsckWith(mdfs.FsckOptions{Workers: 1})
+	rep := benchReport{
+		Schema:          "redbud-fsck-bench/1",
+		Image:           fs.Arg(0),
+		Layout:          m.Layout().String(),
+		Dirs:            serial.Dirs,
+		Files:           serial.Files,
+		ReachableBlocks: serial.ReachableBlocks,
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Runs:            *runs,
+	}
+	fmt.Printf("%s: %d directories, %d files, %d reachable metadata blocks, GOMAXPROCS=%d\n",
+		fs.Arg(0), rep.Dirs, rep.Files, rep.ReachableBlocks, rep.GOMAXPROCS)
+
+	var serialBest int64
+	for _, w := range widths {
+		var best, total int64
+		for r := 0; r < *runs; r++ {
+			start := time.Now()
+			got := m.FsckWith(mdfs.FsckOptions{Workers: w})
+			ns := time.Since(start).Nanoseconds()
+			if !reflect.DeepEqual(got.Problems, serial.Problems) ||
+				!reflect.DeepEqual(got.Advisories, serial.Advisories) ||
+				got.Dirs != serial.Dirs || got.Files != serial.Files ||
+				got.ReachableBlocks != serial.ReachableBlocks {
+				fatal(fmt.Errorf("workers=%d report diverges from serial", w))
+			}
+			total += ns
+			if best == 0 || ns < best {
+				best = ns
+			}
+		}
+		if w == 1 || serialBest == 0 {
+			serialBest = best
+		}
+		p := benchPoint{
+			Workers:         w,
+			BestNs:          best,
+			MeanNs:          total / int64(*runs),
+			SpeedupVsSerial: float64(serialBest) / float64(best),
+		}
+		rep.Points = append(rep.Points, p)
+		fmt.Printf("workers=%-3d best=%-12s mean=%-12s speedup=%.2fx\n",
+			w, time.Duration(p.BestNs), time.Duration(p.MeanNs), p.SpeedupVsSerial)
+	}
+
+	if *jsonOut != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, append(buf, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+	return 0
+}

@@ -3,9 +3,10 @@
 //
 // Usage:
 //
-//	miffsck gen [-layout embedded|normal] [-dirs N] [-files N] [-defrag] [-cache] [-journal-only] <out.img>
-//	miffsck check <image.img>
-//	miffsck sweep [-seed N] [-points a,b,...]
+//	miffsck gen [-layout embedded|normal] [-dirs N] [-files N] [-defrag] [-cache] [-journal-only] [-corrupt kind] <out.img>
+//	miffsck check [-fsck-workers N] <image.img>
+//	miffsck sweep [-seed N] [-points a,b,...] [-fsck-workers N]
+//	miffsck bench [-workers 1,2,4,8] [-runs N] [-json out.json] <image.img>
 //
 // gen formats a file system, populates it (creates, layouts, deletions,
 // renames), and saves the durable state; with -defrag every surviving
@@ -17,9 +18,17 @@
 // metadata those barriers made durable; with -journal-only the final
 // changes are committed to the journal but not checkpointed, producing
 // the crash-consistent image a power failure (for -defrag:
-// mid-defragmentation) would leave. check loads an image, replays its
-// journal overlay, walks the namespace from the superblock, and reports
+// mid-defragmentation) would leave; with -corrupt the finished file
+// system is damaged on disk (mdfs.InjectCorruption — cycle, dup-claim,
+// size-over, table-orphan, ...) so the image exercises a specific fsck
+// finding class. check loads an image, replays its journal overlay,
+// walks the namespace from the superblock (a pool of -fsck-workers scan
+// goroutines; the report is byte-identical at any width), and reports
 // every structural inconsistency.
+//
+// bench times the scan/resolve fsck pipeline on a loaded image across a
+// list of worker counts, verifies every width reproduces the serial
+// report, and optionally writes the wall-clock curve as JSON.
 //
 // sweep runs the systematic crash-point sweep (internal/crashsim driven
 // by the internal/workload crashsweep scenario): one power-fail run per
@@ -63,13 +72,15 @@ func main() {
 		os.Exit(check(os.Args[2:]))
 	case "sweep":
 		os.Exit(sweep(os.Args[2:]))
+	case "bench":
+		os.Exit(bench(os.Args[2:]))
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: miffsck {gen|check|sweep} [flags] [image]")
+	fmt.Fprintln(os.Stderr, "usage: miffsck {gen|check|sweep|bench} [flags] [image]")
 	os.Exit(2)
 }
 
@@ -81,12 +92,16 @@ func gen(args []string) {
 	journalOnly := fs.Bool("journal-only", false, "leave the last changes un-checkpointed (crash image)")
 	defrag := fs.Bool("defrag", false, "rewrite every live file's layout as one coalesced extent (a completed defrag pass)")
 	cached := fs.Bool("cache", false, "populate through a client-cached Redbud mount (flush barriers write the metadata)")
+	corrupt := fs.String("corrupt", "", "damage the finished file system on disk (cycle|dup-claim|size-over|table-orphan)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		usage()
 	}
 	if *cached && *defrag {
 		fatal(fmt.Errorf("-cache and -defrag are mutually exclusive"))
+	}
+	if *cached && *corrupt != "" {
+		fatal(fmt.Errorf("-cache and -corrupt are mutually exclusive"))
 	}
 
 	layout := mdfs.LayoutEmbedded
@@ -152,6 +167,13 @@ func gen(args []string) {
 				fatal(err)
 			}
 			base += f.blocks
+		}
+	}
+	if *corrupt != "" {
+		// InjectCorruption commits and checkpoints the damage itself, so
+		// the image carries it in the home blocks.
+		if err := m.InjectCorruption(*corrupt); err != nil {
+			fatal(err)
 		}
 	}
 	if *journalOnly {
@@ -258,6 +280,7 @@ func genCached(layout mdfs.Layout, dirs, files int, journalOnly bool, out string
 // 2 repaired (journal replay re-applied committed records, then clean).
 func check(args []string) int {
 	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	workers := fs.Int("fsck-workers", 1, "scan-stage worker-pool width (report is byte-identical at any width)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		usage()
@@ -274,7 +297,7 @@ func check(args []string) int {
 		return 1
 	}
 	repaired := m.Store().DirtyBlocks()
-	report := m.Fsck()
+	report := m.FsckWith(mdfs.FsckOptions{Workers: *workers})
 	fmt.Printf("%s: %d directories, %d files, %d reachable metadata blocks\n",
 		fs.Arg(0), report.Dirs, report.Files, report.ReachableBlocks)
 	for _, a := range report.Advisories {

@@ -332,6 +332,41 @@ func (a *Allocator) AppendAllocatedRuns(dst []Range) []Range {
 	return dst
 }
 
+// AllocatedRunsIn returns every maximal run of allocated blocks
+// intersected with [lo, hi), sorted by start — the per-block-group
+// enumeration the parallel fsck's reverse (leak) pass diffs against the
+// reachable claim set. The whole window is walked under one lock, so a
+// concurrent caller sees a consistent snapshot of the region.
+func (a *Allocator) AllocatedRunsIn(lo, hi int64) []Range {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > a.total {
+		hi = a.total
+	}
+	if lo >= hi {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out []Range
+	start := int64(-1)
+	for b := lo; b < hi; b++ {
+		if a.isSet(b) {
+			if start < 0 {
+				start = b
+			}
+		} else if start >= 0 {
+			out = append(out, Range{Start: start, Count: b - start})
+			start = -1
+		}
+	}
+	if start >= 0 {
+		out = append(out, Range{Start: start, Count: hi - start})
+	}
+	return out
+}
+
 // Allocated reports whether every block of r is allocated.
 func (a *Allocator) Allocated(r Range) bool {
 	if r.Start < 0 || r.Count <= 0 || r.End() > a.total {

@@ -3,10 +3,48 @@ package mdfs
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"redbud/internal/alloc"
 	"redbud/internal/inode"
+	"redbud/internal/telemetry"
 )
+
+// Fsck is organized as a pFSCK-style two-stage pipeline:
+//
+//   - a scan stage — a goroutine pool walking the namespace from the root
+//     record plus one task per block group (allocator occupancy, inode
+//     bitmaps) and one for the global directory table — emits typed claims
+//     (block ownership, inode references, parent→child directory edges,
+//     degree sums) through a read-only store view; the scan runs on
+//     wall-clock host parallelism and never touches the simulated disk;
+//   - a serial resolution stage merges the claim sets and derives every
+//     cross-task finding: duplicate block ownership, reachable-but-
+//     unallocated blocks, allocated-but-unreachable blocks (leaks),
+//     orphaned inodes and directory-table entries, and directory
+//     re-entry (cycles and cross-links) from the edge multiset.
+//
+// Determinism: scan tasks record findings locally; the resolution stage
+// sorts results, claims, and edges by on-disk location before deriving
+// findings, and the final problem and advisory lists are sorted before
+// the report is returned — so the report is byte-identical for any worker
+// count and any goroutine interleaving. Fsck must only be called between
+// operations (the store quiescent), the same contract Remount has.
+
+// FsckOptions tunes a check. The zero value is a serial, untelemetered
+// scan — exactly what Fsck() runs.
+type FsckOptions struct {
+	// Workers is the scan-stage goroutine-pool size; values below 2 run
+	// the pipeline serially (one task at a time, same code path, same
+	// report).
+	Workers int
+	// Metrics, when set, receives layer=fsck counters (scan tasks, blocks
+	// scanned, claims, findings) and gauges (configured workers, peak
+	// pool occupancy). All except the occupancy peak are deterministic.
+	Metrics *telemetry.Registry
+	// Trace, when set, records per-stage fsck spans (scan, resolve).
+	Trace *telemetry.Tracer
+}
 
 // FsckReport is the result of a consistency check.
 type FsckReport struct {
@@ -16,8 +54,8 @@ type FsckReport struct {
 	// ReachableBlocks counts metadata blocks owned by reachable objects
 	// (directory content/entries, spill blocks).
 	ReachableBlocks int64
-	// Problems lists every inconsistency found, empty for a clean
-	// file system.
+	// Problems lists every inconsistency found (sorted), empty for a
+	// clean file system.
 	Problems []string
 	// Advisories are non-fatal drifts in heuristic bookkeeping (the
 	// fragmentation-degree numerator is persisted lazily by design).
@@ -39,16 +77,27 @@ func (r *FsckReport) problemf(format string, args ...interface{}) {
 //   - every reachable inode record parses and its Ino matches its
 //     location (embedded: directory identification and slot);
 //   - no two objects claim the same metadata block (content, entry, or
-//     spill);
+//     spill), and no directory record is referenced twice (a dirent
+//     pointing at an ancestor or an already-linked directory is a cycle
+//     or cross-link, reported instead of recursed into);
 //   - every reachable metadata block is marked allocated in the space
-//     allocator;
-//   - embedded: every directory's table entry resolves back to it, and
-//     the stored fragmentation-degree numerator matches the sum of its
-//     files' mapping-unit counts;
-//   - normal: every reachable inode's slot is set in the inode bitmap.
-func (fs *FS) Fsck() *FsckReport {
+//     allocator, and — the reverse pass — every dynamically allocated
+//     block is reachable (otherwise it leaked);
+//   - embedded: every directory's table entry resolves back to it, every
+//     live table entry belongs to a reachable directory, the record's
+//     Size stays within [files, files+subdirs], and the stored
+//     fragmentation-degree numerator matches the sum of its files'
+//     mapping-unit counts (advisory);
+//   - normal: every reachable inode's slot is set in the inode bitmap,
+//     and every set bit is referenced by some dirent (else orphaned).
+func (fs *FS) Fsck() *FsckReport { return fs.FsckWith(FsckOptions{}) }
+
+// FsckWith runs the check with explicit worker-pool and telemetry
+// options. The report is byte-identical for every worker count.
+func (fs *FS) FsckWith(opt FsckOptions) *FsckReport {
 	r := &FsckReport{}
-	sb := fs.store.Read(0)
+	view := fs.store.View()
+	sb := view.Read(0)
 	le := binary.LittleEndian
 	if le.Uint32(sb[offSMagic:]) != superMagic {
 		r.problemf("superblock: bad magic %#x", le.Uint32(sb[offSMagic:]))
@@ -61,7 +110,12 @@ func (fs *FS) Fsck() *FsckReport {
 	rootBlk := int64(le.Uint64(sb[offSRootBlk:]))
 	rootOff := int(le.Uint64(sb[offSRootOff:]))
 	rootIno := inode.Ino(le.Uint64(sb[offSRootIno:]))
-	rec, err := fs.readInodeAt(rootBlk, rootOff)
+	workers := opt.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	w := newFsckWalker(fs, view, workers, recKey{rootBlk, rootOff})
+	rec, err := w.inodeAt(rootBlk, rootOff)
 	if err != nil {
 		r.problemf("root record: %v", err)
 		return r
@@ -70,159 +124,206 @@ func (fs *FS) Fsck() *FsckReport {
 		r.problemf("root record is not a directory (mode %d)", rec.Mode)
 		return r
 	}
-	owners := map[int64]string{} // block → owner description
-	fs.fsckDir(r, rec, rootIno, rootBlk, rootOff, owners)
+
+	span := opt.Trace.Start("fsck", "fsck", 0)
+	scan := opt.Trace.Start("fsck", "scan", span.ID())
+	w.visit(w.rootKey, rec, rootIno)
+	for g := int64(0); g < fs.geo.Groups; g++ {
+		g := g
+		w.spawn(func() { w.scanGroup(g) })
+	}
+	if fs.cfg.Layout == LayoutEmbedded {
+		w.spawn(func() { w.scanTable() })
+	}
+	w.wg.Wait()
+	scan.AnnotateInt("tasks", w.tasks.Load())
+	scan.AnnotateInt("blocks", w.blocks.Load())
+	scan.End()
+
+	resolve := opt.Trace.Start("fsck", "resolve", span.ID())
+	fs.fsckResolve(r, w, rootIno)
+	resolve.End()
+	span.AnnotateInt("dirs", int64(r.Dirs))
+	span.AnnotateInt("problems", int64(len(r.Problems)))
+	span.End()
+
+	if m := opt.Metrics; m != nil {
+		labels := telemetry.Labels{"layer": "fsck"}
+		m.Counter("fsck_runs", labels).Inc()
+		m.Counter("fsck_scan_tasks", labels).Add(w.tasks.Load())
+		m.Counter("fsck_blocks_scanned", labels).Add(w.blocks.Load())
+		m.Counter("fsck_claims", labels).Add(w.claimed)
+		m.Counter("fsck_problems", labels).Add(int64(len(r.Problems)))
+		m.Counter("fsck_advisories", labels).Add(int64(len(r.Advisories)))
+		m.Gauge("fsck_workers", labels).Set(int64(workers))
+		// Scheduling-dependent (like wall_ns): deterministic only for a
+		// serial scan. Kept out of every determinism-guarded comparison.
+		m.Gauge("fsck_occupancy_peak", labels).Set(w.peak.Load())
+		h := m.Histogram("fsck_task_blocks", labels)
+		for _, d := range w.dirs { // sorted by fsckResolve: deterministic
+			h.Observe(d.blocks)
+		}
+	}
 	return r
 }
 
-// claim records block ownership, reporting duplicates, and checks the
-// allocator.
-func (fs *FS) claim(r *FsckReport, owners map[int64]string, blk int64, what string) {
-	if prev, ok := owners[blk]; ok {
-		r.problemf("block %d claimed by both %s and %s", blk, prev, what)
-		return
-	}
-	owners[blk] = what
-	r.ReachableBlocks++
-	if !fs.alloc.Allocated(alloc.Range{Start: blk, Count: 1}) {
-		r.problemf("block %d (%s) reachable but not allocated", blk, what)
-	}
-}
+// fsckResolve is the serial cross-task resolution stage: it merges the
+// scan results deterministically and derives every finding that needs
+// more than one task's view.
+func (fs *FS) fsckResolve(r *FsckReport, w *fsckWalker, rootIno inode.Ino) {
+	sort.Slice(w.dirs, func(i, j int) bool { return w.dirs[i].key.less(w.dirs[j].key) })
+	sort.Slice(w.groups, func(i, j int) bool { return w.groups[i].group < w.groups[j].group })
 
-// fsckDir verifies one directory and recurses into subdirectories.
-func (fs *FS) fsckDir(r *FsckReport, rec *inode.Inode, ino inode.Ino, recBlk int64, recOff int, owners map[int64]string) {
-	r.Dirs++
-	name := rec.Name
-	if name == "" {
-		name = "/"
+	var problems, advisories []string
+	var claims []fsckClaim
+	var edges []fsckEdge
+	refs := map[int64]bool{0: true} // reserved slot, never a dirent target
+	if fs.cfg.Layout == LayoutNormal {
+		refs[int64(rootIno)] = true
 	}
-	runs := extentsToRuns(fs.readMapping(rec))
-	for _, spill := range fs.spillChain(rec) {
-		fs.claim(r, owners, spill, fmt.Sprintf("dir %q mapping spill", name))
-	}
-	for _, run := range runs {
-		for b := run.Start; b < run.End(); b++ {
-			fs.claim(r, owners, b, fmt.Sprintf("dir %q content", name))
+	dirIDs := map[uint32][]string{}
+	r.Dirs = len(w.dirs)
+	for _, d := range w.dirs {
+		r.Files += int(d.files)
+		problems = append(problems, d.problems...)
+		advisories = append(advisories, d.advisories...)
+		claims = append(claims, d.claims...)
+		edges = append(edges, d.edges...)
+		for _, s := range d.inodeRefs {
+			refs[s] = true
+		}
+		if fs.cfg.Layout == LayoutEmbedded && d.dirID != 0 {
+			dirIDs[d.dirID] = append(dirIDs[d.dirID], d.desc)
 		}
 	}
-	if fs.cfg.Layout == LayoutEmbedded {
-		fs.fsckEmbeddedDir(r, rec, ino, runs, owners)
+	w.claimed = int64(len(claims))
+
+	// Forward pass: duplicate ownership, reachable-but-unallocated.
+	sort.Slice(claims, func(i, j int) bool {
+		if claims[i].blk != claims[j].blk {
+			return claims[i].blk < claims[j].blk
+		}
+		return claims[i].what < claims[j].what
+	})
+	reach := make([]int64, 0, len(claims))
+	for i := 0; i < len(claims); {
+		j := i
+		for j < len(claims) && claims[j].blk == claims[i].blk {
+			j++
+		}
+		blk := claims[i].blk
+		reach = append(reach, blk)
+		for k := i + 1; k < j; k++ {
+			problems = append(problems, fmt.Sprintf("block %d claimed by both %s and %s",
+				blk, claims[i].what, claims[k].what))
+		}
+		if !fs.alloc.Allocated(alloc.Range{Start: blk, Count: 1}) {
+			problems = append(problems, fmt.Sprintf("block %d (%s) reachable but not allocated",
+				blk, claims[i].what))
+		}
+		i = j
+	}
+	r.ReachableBlocks = int64(len(reach))
+
+	// Reverse pass: every dynamically allocated block (the group data
+	// areas — the fixed regions are reserved at format time and never
+	// freed) must be claimed by something reachable, or it leaked.
+	inReach := func(b int64) bool {
+		idx := sort.Search(len(reach), func(i int) bool { return reach[i] >= b })
+		return idx < len(reach) && reach[idx] == b
+	}
+	var leaked []int64
+	for _, g := range w.groups {
+		for _, run := range g.allocated {
+			for b := run.Start; b < run.End(); b++ {
+				if !inReach(b) {
+					leaked = append(leaked, b)
+				}
+			}
+		}
+	}
+	for i := 0; i < len(leaked); {
+		j := i
+		for j+1 < len(leaked) && leaked[j+1] == leaked[j]+1 {
+			j++
+		}
+		if i == j {
+			problems = append(problems, fmt.Sprintf("block %d allocated but unreachable (leaked)", leaked[i]))
+		} else {
+			problems = append(problems, fmt.Sprintf("blocks [%d,%d) allocated but unreachable (leaked)",
+				leaked[i], leaked[j]+1))
+		}
+		i = j + 1
+	}
+
+	// Reverse pass, inode side.
+	if fs.cfg.Layout == LayoutNormal {
+		for _, g := range w.groups {
+			for _, slot := range g.setSlots {
+				if !refs[slot] {
+					problems = append(problems, fmt.Sprintf(
+						"inode %d set in inode bitmap but referenced by no dirent (orphan)", slot))
+				}
+			}
+		}
 	} else {
-		fs.fsckNormalDir(r, rec, ino, runs, owners)
-	}
-}
-
-// fsckEmbeddedDir scans an embedded directory's content records.
-func (fs *FS) fsckEmbeddedDir(r *FsckReport, dirRec *inode.Inode, dirIno inode.Ino, runs []alloc.Range, owners map[int64]string) {
-	// Table entry must resolve back to this directory.
-	if dirRec.DirID == 0 {
-		r.problemf("embedded dir %v has no directory identification", dirIno)
-		return
-	}
-	_, self, err := fs.readTableEntry(dirRec.DirID)
-	if err != nil {
-		r.problemf("dir table entry %d: %v", dirRec.DirID, err)
-	} else if self != dirIno {
-		r.problemf("dir table entry %d points at %v, record says %v", dirRec.DirID, self, dirIno)
-	}
-	per := fs.geo.InodesPerBlock
-	var slot uint32
-	var degreeSum int64
-	var files int64
-	for _, run := range runs {
-		for b := run.Start; b < run.End(); b++ {
-			buf := fs.store.Read(b)
-			for i := int64(0); i < per; i++ {
-				cur := slot
-				slot++
-				rec, err := inode.Unmarshal(buf[i*recordSize : (i+1)*recordSize])
-				if err != nil {
-					r.problemf("dir %d slot %d: %v", dirRec.DirID, cur, err)
-					continue
-				}
-				if rec.Mode == inode.ModeNone || rec.Nlink == 0 {
-					continue
-				}
-				want := inode.MakeIno(dirRec.DirID, cur)
-				if rec.Ino != want {
-					r.problemf("dir %d slot %d: record ino %v, want %v", dirRec.DirID, cur, rec.Ino, want)
-				}
-				if rec.IsDir() {
-					fs.fsckDir(r, rec, rec.Ino, b, int(i*recordSize), owners)
-					continue
-				}
-				r.Files++
-				files++
-				degreeSum += int64(rec.ExtentCount)
-				for _, spill := range fs.spillChain(rec) {
-					fs.claim(r, owners, spill, fmt.Sprintf("file %q spill", rec.Name))
+		ids := make([]uint32, 0, len(dirIDs))
+		for id := range dirIDs {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			owners := dirIDs[id]
+			if len(owners) > 1 {
+				sort.Strings(owners)
+				for _, o := range owners[1:] {
+					problems = append(problems, fmt.Sprintf("directory id %d used by both %s and %s",
+						id, owners[0], o))
 				}
 			}
 		}
-	}
-	if int64(dirRec.Aux) != degreeSum {
-		// The numerator is maintained in memory and persisted on the
-		// next structural touch, so bounded drift is expected.
-		r.Advisories = append(r.Advisories, fmt.Sprintf(
-			"dir %d: fragmentation-degree numerator %d, recomputed %d (lazily persisted)",
-			dirRec.DirID, dirRec.Aux, degreeSum))
-	}
-	if dirRec.Size != files {
-		// Size counts files plus subdirectories in embTouchDir; allow
-		// the subdirectory delta.
-		if dirRec.Size < files {
-			r.problemf("dir %d: file count %d below recomputed %d", dirRec.DirID, dirRec.Size, files)
-		}
-	}
-}
-
-// fsckNormalDir scans a traditional directory's entry blocks.
-func (fs *FS) fsckNormalDir(r *FsckReport, dirRec *inode.Inode, dirIno inode.Ino, runs []alloc.Range, owners map[int64]string) {
-	per := fs.direntsPerBlock()
-	for _, run := range runs {
-		for b := run.Start; b < run.End(); b++ {
-			buf := fs.store.Read(b)
-			for i := 0; i < per; i++ {
-				ent := buf[i*direntSize : (i+1)*direntSize]
-				ino := inode.Ino(binary.LittleEndian.Uint64(ent[0:]))
-				if ino == 0 {
-					continue
-				}
-				nameLen := int(ent[8])
-				if nameLen > direntSize-9 {
-					r.problemf("dir %v: corrupt dirent name length %d", dirIno, nameLen)
-					continue
-				}
-				name := string(ent[9 : 9+nameLen])
-				slot := int64(ino)
-				if slot >= fs.geo.Groups*fs.geo.InodesPerGroup {
-					r.problemf("dirent %q: inode %d outside inode tables", name, slot)
-					continue
-				}
-				g := slot / fs.geo.InodesPerGroup
-				idx := slot % fs.geo.InodesPerGroup
-				if fs.ibitmap[g][idx/64]&(1<<uint(idx%64)) == 0 {
-					r.problemf("dirent %q: inode %d not set in inode bitmap", name, slot)
-				}
-				blk, off := fs.geo.slotLocation(slot)
-				rec, err := fs.readInodeAt(blk, off)
-				if err != nil {
-					r.problemf("inode %d: %v", slot, err)
-					continue
-				}
-				if rec.Mode == inode.ModeNone {
-					r.problemf("dirent %q points at cleared inode %d", name, slot)
-					continue
-				}
-				if rec.IsDir() {
-					fs.fsckDir(r, rec, ino, blk, off, owners)
-					continue
-				}
-				r.Files++
-				for _, spill := range fs.spillChain(rec) {
-					fs.claim(r, owners, spill, fmt.Sprintf("file %q spill", name))
-				}
+		for _, te := range w.table {
+			if len(dirIDs[te.dirID]) == 0 {
+				problems = append(problems, fmt.Sprintf(
+					"directory table entry %d (self %v) references no reachable directory (orphan)",
+					te.dirID, te.self))
 			}
 		}
 	}
+
+	// Edge analysis: every non-root directory record must be referenced
+	// exactly once; the root never. A second incoming edge means a dirent
+	// points at an ancestor or an already-linked directory — the cycles
+	// and cross-links the scan stage refused to recurse into.
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].child != edges[j].child {
+			return edges[i].child.less(edges[j].child)
+		}
+		return edges[i].from < edges[j].from
+	})
+	for i := 0; i < len(edges); {
+		j := i
+		for j < len(edges) && edges[j].child == edges[i].child {
+			j++
+		}
+		group := edges[i:j]
+		if group[0].child == w.rootKey {
+			for _, e := range group {
+				problems = append(problems, fmt.Sprintf(
+					"%s references the root directory %s (directory cycle)", e.from, e.childDesc))
+			}
+		} else {
+			for _, e := range group[1:] {
+				problems = append(problems, fmt.Sprintf(
+					"%s re-entered: referenced by both %s and %s (directory cycle or cross-link)",
+					group[0].childDesc, group[0].from, e.from))
+			}
+		}
+		i = j
+	}
+
+	sort.Strings(problems)
+	sort.Strings(advisories)
+	r.Problems = problems
+	r.Advisories = advisories
 }

@@ -3,6 +3,8 @@ package mdfs
 import (
 	"bytes"
 	"fmt"
+	"reflect"
+	"strings"
 	"testing"
 
 	"redbud/internal/extent"
@@ -190,5 +192,176 @@ func TestLoadImageRejectsGarbage(t *testing.T) {
 	}
 	if _, err := LoadImage(bytes.NewReader(nil)); err == nil {
 		t.Fatal("empty input should not load")
+	}
+}
+
+// hasFinding reports whether any problem line contains the substring.
+func hasFinding(problems []string, substr string) bool {
+	for _, p := range problems {
+		if strings.Contains(p, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestFsckCycleTerminates is the headline regression: a dirent graph that
+// re-enters itself must yield a cycle finding, not unbounded recursion.
+// Before the scan/resolve split, fsckDir recursed through dirents with no
+// visited set and this test would hang.
+func TestFsckCycleTerminates(t *testing.T) {
+	bothLayouts(t, func(t *testing.T, fs *FS) {
+		populate(t, fs)
+		if err := fs.InjectCorruption("cycle"); err != nil {
+			t.Fatal(err)
+		}
+		report := fs.Fsck()
+		if report.Clean() {
+			t.Fatal("fsck missed a directory cycle")
+		}
+		if !hasFinding(report.Problems, "cycle") {
+			t.Fatalf("no cycle finding in:\n%v", report.Problems)
+		}
+	})
+}
+
+// TestFsckCycleSurvivesImageRoundTrip proves both that the cyclic image
+// mounts (the Remount visited guard) and that fsck still reports the
+// damage after LoadImage.
+func TestFsckCycleSurvivesImageRoundTrip(t *testing.T) {
+	bothLayouts(t, func(t *testing.T, fs *FS) {
+		populate(t, fs)
+		if err := fs.InjectCorruption("cycle"); err != nil {
+			t.Fatal(err)
+		}
+		var img bytes.Buffer
+		if err := fs.SaveImage(&img); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := LoadImage(bytes.NewReader(img.Bytes()))
+		if err != nil {
+			t.Fatalf("cyclic image failed to mount: %v", err)
+		}
+		report := loaded.Fsck()
+		if !hasFinding(report.Problems, "cycle") {
+			t.Fatalf("no cycle finding after round trip:\n%v", report.Problems)
+		}
+	})
+}
+
+// TestFsckCorruptionSuite is the table-driven corrupted-image suite: each
+// corruption kind must yield its specific finding class, under both the
+// serial and the parallel walker, with byte-identical reports.
+func TestFsckCorruptionSuite(t *testing.T) {
+	cases := []struct {
+		kind    string
+		layouts []Layout
+		want    string
+	}{
+		{"cycle", []Layout{LayoutNormal, LayoutEmbedded}, "cycle"},
+		{"leak", []Layout{LayoutNormal, LayoutEmbedded}, "leaked"},
+		{"dup-claim", []Layout{LayoutNormal, LayoutEmbedded}, "claimed by both"},
+		{"bitmap-orphan", []Layout{LayoutNormal}, "orphan"},
+		{"table-orphan", []Layout{LayoutEmbedded}, "orphan"},
+		{"size-over", []Layout{LayoutEmbedded}, "stale over-count"},
+	}
+	for _, tc := range cases {
+		for _, layout := range tc.layouts {
+			t.Run(tc.kind+"/"+layout.String(), func(t *testing.T) {
+				fs := newFS(t, layout)
+				populate(t, fs)
+				if err := fs.InjectCorruption(tc.kind); err != nil {
+					t.Fatal(err)
+				}
+				serial := fs.FsckWith(FsckOptions{Workers: 1})
+				if !hasFinding(serial.Problems, tc.want) {
+					t.Fatalf("serial fsck: no %q finding in:\n%v", tc.want, serial.Problems)
+				}
+				parallel := fs.FsckWith(FsckOptions{Workers: 8})
+				if !reflect.DeepEqual(serial.Problems, parallel.Problems) {
+					t.Fatalf("parallel report diverges from serial:\nserial:   %v\nparallel: %v",
+						serial.Problems, parallel.Problems)
+				}
+				if !reflect.DeepEqual(serial.Advisories, parallel.Advisories) {
+					t.Fatalf("parallel advisories diverge from serial:\nserial:   %v\nparallel: %v",
+						serial.Advisories, parallel.Advisories)
+				}
+			})
+		}
+	}
+}
+
+// TestFsckParallelMatchesSerial checks full-report parity on a healthy
+// aged namespace at several worker widths. Under `go test -race` this is
+// also the data-race check on the parallel walker.
+func TestFsckParallelMatchesSerial(t *testing.T) {
+	bothLayouts(t, func(t *testing.T, fs *FS) {
+		populate(t, fs)
+		// Age the namespace further: more directories across groups.
+		for i := 0; i < 8; i++ {
+			d, err := fs.Mkdir(fs.Root(), fmt.Sprintf("d%02d", i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := 0; j < 12; j++ {
+				if _, err := fs.Create(d, fmt.Sprintf("g%02d", j)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := fs.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		serial := fs.FsckWith(FsckOptions{Workers: 1})
+		if !serial.Clean() {
+			t.Fatalf("serial fsck not clean:\n%v", serial.Problems)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			par := fs.FsckWith(FsckOptions{Workers: workers})
+			if !reflect.DeepEqual(serial, par) {
+				t.Fatalf("workers=%d report diverges:\nserial:   %+v\nparallel: %+v", workers, serial, par)
+			}
+		}
+	})
+}
+
+// TestFsckLeakReclaimedByRebuild proves the recovery contract: the leak
+// fsck reports is exactly what RebuildAllocator reclaims.
+func TestFsckLeakReclaimedByRebuild(t *testing.T) {
+	bothLayouts(t, func(t *testing.T, fs *FS) {
+		populate(t, fs)
+		if err := fs.InjectCorruption("leak"); err != nil {
+			t.Fatal(err)
+		}
+		if report := fs.Fsck(); !hasFinding(report.Problems, "leaked") {
+			t.Fatalf("no leak finding in:\n%v", report.Problems)
+		}
+		reclaimed, err := fs.RebuildAllocator()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reclaimed != 4 {
+			t.Fatalf("reclaimed %d blocks, want 4", reclaimed)
+		}
+		if report := fs.Fsck(); !report.Clean() {
+			t.Fatalf("fsck still dirty after allocator rebuild:\n%v", report.Problems)
+		}
+	})
+}
+
+// TestFsckReportDeterministic runs the parallel checker repeatedly and
+// demands identical reports — the worker-interleaving guarantee.
+func TestFsckReportDeterministic(t *testing.T) {
+	fs := newFS(t, LayoutEmbedded)
+	populate(t, fs)
+	if err := fs.InjectCorruption("dup-claim"); err != nil {
+		t.Fatal(err)
+	}
+	first := fs.FsckWith(FsckOptions{Workers: 8})
+	for i := 0; i < 10; i++ {
+		again := fs.FsckWith(FsckOptions{Workers: 8})
+		if !reflect.DeepEqual(first, again) {
+			t.Fatalf("run %d diverged:\nfirst: %+v\nagain: %+v", i, first, again)
+		}
 	}
 }

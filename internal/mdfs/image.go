@@ -140,36 +140,61 @@ func LoadImage(r io.Reader) (*FS, error) {
 	if err := readBlocks(fs.store.dirty); err != nil {
 		return nil, fmt.Errorf("mdfs: image journal overlay: %w", err)
 	}
-	// Rebuild the namespace and the allocator from the loaded state.
-	if err := fs.rebuildAllocator(); err != nil {
+	// Rebuild the namespace, then the allocator from the reachable state.
+	if err := fs.Remount(); err != nil {
 		return nil, err
 	}
-	if err := fs.Remount(); err != nil {
+	if _, err := fs.RebuildAllocator(); err != nil {
 		return nil, err
 	}
 	return fs, nil
 }
 
-// rebuildAllocator reconstructs the space allocator from the reachable
-// metadata (an fsck-style pass): fixed regions are re-reserved by New, so
-// only the dynamically allocated blocks — directory content, entry blocks,
-// spill blocks — must be re-marked.
-func (fs *FS) rebuildAllocator() error {
-	// New() already reserved the fixed regions. Walk the tree and mark
-	// every reachable dynamic block. Remount has not run yet, so walk
-	// via a throwaway Remount first: it only needs store contents.
-	if err := fs.Remount(); err != nil {
-		return err
+// RebuildAllocator reconstructs the space allocator from the reachable
+// metadata: the fixed regions are re-reserved, then the mounted namespace
+// is walked and every reachable dynamic block — directory content, entry
+// blocks, spill blocks — re-marked. The namespace must be current
+// (Remount first). It returns the number of blocks reclaimed relative to
+// the previous allocator state: after a crash the in-memory allocator
+// still charges blocks whose linking operations the journal lost, and
+// those must be returned to free space (the mdfs analogue of the OST
+// scrub's leak reclamation) or fsck's reverse pass would report them
+// leaked forever.
+func (fs *FS) RebuildAllocator() (reclaimed int64, err error) {
+	prev := fs.cfg.Blocks - fs.alloc.FreeBlocks()
+	old := fs.alloc
+	fs.alloc = alloc.New(fs.cfg.Blocks, fs.cfg.GroupBlocks)
+	if err := fs.reserveFixed(); err != nil {
+		fs.alloc = old
+		return 0, err
 	}
+	if err := fs.markReachable(); err != nil {
+		fs.alloc = old
+		return 0, err
+	}
+	return prev - (fs.cfg.Blocks - fs.alloc.FreeBlocks()), nil
+}
+
+// markReachable walks the mounted namespace and marks every reachable
+// dynamic block in the allocator.
+func (fs *FS) markReachable() error {
 	mark := func(blk int64) error {
+		if blk < 0 || blk >= fs.cfg.Blocks {
+			return nil
+		}
 		r := alloc.Range{Start: blk, Count: 1}
 		if fs.alloc.Allocated(r) {
 			return nil
 		}
 		return fs.alloc.AllocExact(0, r)
 	}
+	seen := make(map[*dir]bool)
 	var walk func(d *dir) error
 	walk = func(d *dir) error {
+		if d == nil || seen[d] {
+			return nil
+		}
+		seen[d] = true
 		if fs.cfg.Layout == LayoutEmbedded {
 			for _, run := range d.content {
 				for b := run.Start; b < run.End(); b++ {

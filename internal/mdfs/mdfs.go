@@ -183,6 +183,12 @@ type FS struct {
 	// structure to correlate the old and new inodes").
 	renamed map[inode.Ino]inode.Ino
 
+	// Remount cycle guard: record locations already loaded during the
+	// current Remount. A dirent graph with a cycle or cross-link (possible
+	// only on corrupted state) must still mount defensively — the damage
+	// itself is fsck's to report.
+	remountSeen map[recKey]bool
+
 	opSeq     int64 // pseudo-time for mtimes and commit batching
 	sinceSync int
 	stats     OpStats
@@ -271,10 +277,30 @@ func applyDefaults(cfg *Config) {
 	}
 }
 
-// reserveRegions marks the superblock, journal, directory table, and
-// per-group metadata in the space allocator and initializes the
-// normal-layout inode accounting.
+// reserveRegions marks the fixed metadata regions in the space allocator
+// and initializes the normal-layout inode accounting.
 func (fs *FS) reserveRegions() error {
+	if err := fs.reserveFixed(); err != nil {
+		return err
+	}
+	if fs.cfg.Layout == LayoutNormal {
+		fs.ibitmap = make([][]uint64, fs.geo.Groups)
+		fs.inodeFree = make([]int64, fs.geo.Groups)
+		for g := range fs.ibitmap {
+			fs.ibitmap[g] = make([]uint64, (fs.geo.InodesPerGroup+63)/64)
+			fs.inodeFree[g] = fs.geo.InodesPerGroup
+		}
+		// Slot 0 is reserved so inode numbers are never zero.
+		fs.ibitmap[0][0] |= 1
+		fs.inodeFree[0]--
+	}
+	return nil
+}
+
+// reserveFixed marks the superblock, journal, directory table, and
+// per-group metadata in the space allocator: the format-time reservations
+// every allocator rebuild starts from.
+func (fs *FS) reserveFixed() error {
 	if err := fs.alloc.AllocExact(0, alloc.Range{Start: 0, Count: fs.geo.GroupsStart}); err != nil {
 		return err
 	}
@@ -290,17 +316,6 @@ func (fs *FS) reserveRegions() error {
 		if err := fs.alloc.AllocExact(0, alloc.Range{Start: tail, Count: fs.cfg.Blocks - tail}); err != nil {
 			return err
 		}
-	}
-	if fs.cfg.Layout == LayoutNormal {
-		fs.ibitmap = make([][]uint64, fs.geo.Groups)
-		fs.inodeFree = make([]int64, fs.geo.Groups)
-		for g := range fs.ibitmap {
-			fs.ibitmap[g] = make([]uint64, (fs.geo.InodesPerGroup+63)/64)
-			fs.inodeFree[g] = fs.geo.InodesPerGroup
-		}
-		// Slot 0 is reserved so inode numbers are never zero.
-		fs.ibitmap[0][0] |= 1
-		fs.inodeFree[0]--
 	}
 	return nil
 }

@@ -29,6 +29,8 @@ func (fs *FS) Remount() error {
 	fs.dirs = make(map[inode.Ino]*dir)
 	fs.dirsByID = make(map[uint32]*dir)
 	fs.renamed = make(map[inode.Ino]inode.Ino)
+	fs.remountSeen = make(map[recKey]bool)
+	defer func() { fs.remountSeen = nil }()
 	if fs.cfg.Layout == LayoutNormal {
 		for g := range fs.ibitmap {
 			for w := range fs.ibitmap[g] {
@@ -57,8 +59,18 @@ func (fs *FS) Remount() error {
 }
 
 // loadDir reconstructs one directory (and recursively its subdirectories)
-// from its on-disk record.
+// from its on-disk record. A record location reached twice — a directory
+// cycle or cross-link, possible only on corrupted state — is loaded once
+// and otherwise ignored: mount must terminate on arbitrary damage, and
+// the cycle itself is fsck's to report.
 func (fs *FS) loadDir(rec *inode.Inode, ino inode.Ino, recBlk int64, recOff int) (*dir, error) {
+	if fs.remountSeen != nil {
+		key := recKey{blk: recBlk, off: recOff}
+		if fs.remountSeen[key] {
+			return fs.dirs[ino], nil
+		}
+		fs.remountSeen[key] = true
+	}
 	d := &dir{
 		ino:      ino,
 		dirID:    rec.DirID,
@@ -173,7 +185,9 @@ func (fs *FS) loadNormalEntries(d *dir) error {
 				if _, err := fs.loadDir(rec, ino, recBlk, recOff); err != nil {
 					return err
 				}
-				fs.dirs[ino].parent = d.ino
+				if child, ok := fs.dirs[ino]; ok {
+					child.parent = d.ino
+				}
 			}
 		}
 	}

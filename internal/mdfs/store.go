@@ -339,6 +339,40 @@ func (s *Store) applyCheckpoint(records []journal.Record) sim.Ns {
 	return s.sched.Run(s.d, reqs)
 }
 
+// StoreView is a read-only, charge-free view of a Store's current
+// contents. It resolves blocks with the same precedence Read uses
+// (transaction overlay, committed overlay, home) but performs no
+// accounting at all: no LRU traffic, no stats, no simulated-disk charge.
+// Reads through a view are safe from multiple goroutines as long as the
+// store itself is quiescent (no writes in flight) — the parallel fsck
+// scan stage is the intended consumer, which per pFSCK runs on wall-clock
+// host parallelism rather than the simulated device.
+type StoreView struct {
+	s    *Store
+	zero []byte
+}
+
+// View returns a read-only view of the store's current contents.
+func (s *Store) View() *StoreView {
+	return &StoreView{s: s, zero: make([]byte, s.blockSize)}
+}
+
+// Read returns the block's current bytes. The result aliases store state
+// (or a shared zero block for never-written blocks); callers must treat
+// it as read-only.
+func (v *StoreView) Read(blk int64) []byte {
+	if b, ok := v.s.txn[blk]; ok {
+		return b
+	}
+	if b, ok := v.s.dirty[blk]; ok {
+		return b
+	}
+	if b, ok := v.s.home[blk]; ok {
+		return b
+	}
+	return v.zero
+}
+
 // DropCaches empties the block cache without touching any state — the
 // between-phases cache flush of a benchmark harness (echo 3 >
 // /proc/sys/vm/drop_caches).

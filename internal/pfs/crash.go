@@ -31,6 +31,11 @@ import (
 type RecoveryReport struct {
 	// Mdfs is the post-replay metadata fsck.
 	Mdfs *mdfs.FsckReport
+	// MdsReclaimed counts metadata blocks the allocator rebuild returned
+	// to free space: blocks whose linking operations the lost journal
+	// records never made durable (the mdfs analogue of the OST scrub's
+	// leak reclamation).
+	MdsReclaimed int64
 	// Scrubs are the per-OST scrub results, ordered by server index.
 	Scrubs []ost.ScrubReport
 	// StaleMarked counts replica members re-marked stale from durable
@@ -69,7 +74,19 @@ func (fs *FS) CrashRecover() (*RecoveryReport, error) {
 	if err := fs.mds.FS().Remount(); err != nil {
 		return rep, fmt.Errorf("pfs: recovery remount: %w", err)
 	}
-	rep.Mdfs = fs.mds.FS().Fsck()
+	// The in-memory allocator still charges blocks whose linking ops the
+	// crash lost; rebuild it from the remounted namespace so the fsck
+	// leak pass checks the truth, not the pre-crash residue.
+	reclaimed, err := fs.mds.FS().RebuildAllocator()
+	if err != nil {
+		return rep, fmt.Errorf("pfs: recovery allocator rebuild: %w", err)
+	}
+	rep.MdsReclaimed = reclaimed
+	rep.Mdfs = fs.mds.FS().FsckWith(mdfs.FsckOptions{
+		Workers: fs.cfg.FsckWorkers,
+		Metrics: fs.cfg.Metrics,
+		Trace:   fs.tracer,
+	})
 
 	// 3. IO servers: undo writes the media never got, then scrub.
 	for _, srv := range fs.osts {

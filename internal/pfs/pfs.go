@@ -127,6 +127,10 @@ type Config struct {
 	// Trace, when set, records per-layer request spans on the tracer's
 	// simulated timeline for every operation on the mount.
 	Trace *telemetry.Tracer
+	// FsckWorkers sets the scan-stage worker-pool width for the parallel
+	// metadata fsck that CrashRecover runs after journal replay. Zero or
+	// one means serial; the report is byte-identical at any width.
+	FsckWorkers int
 }
 
 // MiF returns the full MiF system: on-demand preallocation and embedded
